@@ -1,0 +1,250 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (DESIGN.md experiments E1-E9); each printed table carries its own
+   shape checks in the footnotes.
+
+   Part 2 runs one Bechamel micro-benchmark per experiment, measuring
+   the wall-clock cost of that experiment's core simulation workload
+   (useful for tracking simulator performance regressions).
+
+   Run with: dune exec bench/main.exe
+   Pass --tables-only or --bechamel-only to run half of it. *)
+
+open Bechamel
+open Toolkit
+
+let seed = 42
+
+(* {2 Part 1: the paper's tables and figures} *)
+
+let run_tables () =
+  print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
+  print_newline ();
+  List.iter Analysis.Table.print (Analysis.Experiments.all ~seed ())
+
+(* {2 Part 2: Bechamel micro-benchmarks, one per experiment} *)
+
+let instance_ms ~n ~k ~s ~seed =
+  Gossip.Instance.multi_source ~rng:(Dynet.Rng.make ~seed) ~n ~k ~s
+
+let bench_e1_table1 () =
+  (* E1's unit of work: one Algorithm-2 run on a many-source instance. *)
+  let n = 16 and k = 24 in
+  let instance = instance_ms ~n ~k ~s:n ~seed in
+  fun () ->
+    let schedule = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25 in
+    let r =
+      Gossip.Runners.oblivious_rw ~instance ~schedule ~seed ~const_f:0.05
+        ~force_rw:true ()
+    in
+    assert r.Gossip.Oblivious_rw.completed
+
+let bench_e2_lower_bound () =
+  let n = 12 in
+  let instance = Gossip.Instance.one_per_node ~n in
+  fun () ->
+    let r, _, _ =
+      Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ()
+    in
+    assert r.Engine.Run_result.completed
+
+let bench_e3_free_edges () =
+  let n = 64 and k = 64 in
+  let lb =
+    Adversary.Broadcast_lb.create ~rng:(Dynet.Rng.make ~seed) ~n ~k
+  in
+  let chosen =
+    Array.init n (fun v -> if v mod 2 = 0 then Some (v mod k) else None)
+  in
+  fun () ->
+    ignore
+      (Adversary.Broadcast_lb.next_graph lb
+         { Adversary.Broadcast_lb.knows = (fun v i -> i = v mod k); chosen })
+
+let bench_e4_single_source () =
+  let n = 16 and k = 32 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious
+        (Adversary.Schedule.stabilized ~sigma:3
+           (Adversary.Oblivious.tree_rotator ~seed ~n))
+    in
+    let r, _ = Gossip.Runners.single_source ~instance ~env () in
+    assert r.Engine.Run_result.completed
+
+let bench_e6_multi_source () =
+  let n = 16 and k = 32 in
+  let instance = instance_ms ~n ~k ~s:6 ~seed in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious
+        (Adversary.Schedule.stabilized ~sigma:3
+           (Adversary.Oblivious.tree_rotator ~seed ~n))
+    in
+    let r, _ = Gossip.Runners.multi_source ~instance ~env () in
+    assert r.Engine.Run_result.completed
+
+let bench_e7_rw_phase () =
+  let n = 20 and k = 20 in
+  let instance = instance_ms ~n ~k ~s:10 ~seed in
+  let centers = Array.init n (fun v -> v mod 7 = 0) in
+  fun () ->
+    let schedule = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.3 in
+    let states = Gossip.Rw_phase.init ~instance ~centers ~gamma:1000. ~seed in
+    let r, _ =
+      Engine.Runner_unicast.run Gossip.Rw_phase.protocol ~states
+        ~adversary:(Adversary.Schedule.unicast schedule)
+        ~max_rounds:5000 ~stop:Gossip.Rw_phase.settled ()
+    in
+    assert r.Engine.Run_result.completed
+
+let bench_e8_static_baseline () =
+  let n = 64 and k = 256 in
+  let graph =
+    Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed) ~n ~p:0.2
+  in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  fun () -> ignore (Gossip.Spanning_tree_static.run ~graph ~instance ~root:0)
+
+let bench_e9_flooding () =
+  let n = 16 in
+  let instance = Gossip.Instance.one_per_node ~n in
+  fun () ->
+    let schedule = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25 in
+    let r, _ = Gossip.Runners.flooding ~instance ~schedule () in
+    assert r.Engine.Run_result.completed
+
+let bench_e10_ablation () =
+  let n = 12 and k = 16 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  fun () ->
+    let env =
+      Gossip.Runners.Request_cutting { seed; cut_prob = 0.5 }
+    in
+    let config =
+      { Gossip.Single_source.priority = Gossip.Single_source.Paper_priority;
+        dedup_pending = false }
+    in
+    let r, _ = Gossip.Runners.single_source ~instance ~env ~config () in
+    assert r.Engine.Run_result.completed
+
+let bench_e11_tradeoff () =
+  let n = 16 and k = 24 in
+  let instance = instance_ms ~n ~k ~s:n ~seed in
+  fun () ->
+    let schedule = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.3 in
+    let r =
+      Gossip.Runners.oblivious_rw ~instance ~schedule ~seed ~const_f:0.3
+        ~force_rw:true ()
+    in
+    assert r.Gossip.Oblivious_rw.completed
+
+let bench_e12_coding () =
+  let n = 16 in
+  let instance = Gossip.Instance.one_per_node ~n in
+  fun () ->
+    let schedule = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25 in
+    let r, _ = Gossip.Runners.coded_broadcast ~instance ~schedule ~seed () in
+    assert r.Engine.Run_result.completed
+
+let bench_e13_leader () =
+  let n = 24 in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious (Adversary.Oblivious.tree_rotator ~seed ~n)
+    in
+    let r, _ = Gossip.Runners.leader_election ~n ~env () in
+    assert r.Engine.Run_result.completed
+
+let bench_e14_weak_adversary () =
+  let n = 48 in
+  let adv = Adversary.Weak_bcast.make ~seed ~n in
+  let states = Array.make n () in
+  let intents = Array.init n (fun v -> if v mod 2 = 0 then Some v else None) in
+  fun () ->
+    ignore
+      (adv ~round:1 ~prev:(Dynet.Graph.empty ~n) ~states ~intents)
+
+let tests =
+  Test.make_grouped ~name:"dynspread"
+    [
+      Test.make ~name:"e1/table1:oblivious-rw" (Staged.stage (bench_e1_table1 ()));
+      Test.make ~name:"e2/lower-bound:flooding-vs-lb"
+        (Staged.stage (bench_e2_lower_bound ()));
+      Test.make ~name:"e3/free-edges:next-graph"
+        (Staged.stage (bench_e3_free_edges ()));
+      Test.make ~name:"e4/single-source:rotator"
+        (Staged.stage (bench_e4_single_source ()));
+      Test.make ~name:"e6/multi-source:rotator"
+        (Staged.stage (bench_e6_multi_source ()));
+      Test.make ~name:"e7/rw-phase:gather" (Staged.stage (bench_e7_rw_phase ()));
+      Test.make ~name:"e8/static-baseline:tree"
+        (Staged.stage (bench_e8_static_baseline ()));
+      Test.make ~name:"e9/flooding:fresh-random"
+        (Staged.stage (bench_e9_flooding ()));
+      Test.make ~name:"e10/ablation:no-dedup-cutter"
+        (Staged.stage (bench_e10_ablation ()));
+      Test.make ~name:"e11/rw-tradeoff:dense-centers"
+        (Staged.stage (bench_e11_tradeoff ()));
+      Test.make ~name:"e12/coding-gap:coded-bcast"
+        (Staged.stage (bench_e12_coding ()));
+      Test.make ~name:"e13/leader-election:rotator"
+        (Staged.stage (bench_e13_leader ()));
+      Test.make ~name:"e14/adaptivity:weak-round"
+        (Staged.stage (bench_e14_weak_adversary ()));
+    ]
+
+let run_bechamel () =
+  print_endline "=== Part 2: Bechamel micro-benchmarks (time per run) ===";
+  print_newline ();
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Analysis.Table.print
+    (Analysis.Table.make
+       ~title:
+         "simulator throughput (one run of each experiment's core workload)"
+       ~columns:[ "benchmark"; "time per run" ]
+       ~notes:
+         [
+           "OLS estimate over monotonic-clock samples; randomized protocol \
+            runs, so treat as order-of-magnitude.";
+         ]
+       (List.map
+          (fun (name, ns) ->
+            let cell =
+              if Float.is_nan ns then "n/a"
+              else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; cell ])
+          rows))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables_only = List.mem "--tables-only" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  if not bechamel_only then run_tables ();
+  if not tables_only then run_bechamel ()

@@ -1,0 +1,439 @@
+(* dynspread — command-line front end.
+
+   Subcommands mirror the experiment index in DESIGN.md:
+
+     dynspread run         one protocol x environment x instance run
+     dynspread experiments the paper's tables/figures (all or by id)
+     dynspread table1      just E1
+     dynspread lowerbound  just E2 (+E3)
+     dynspread competitive just E4/E5/E6
+
+   Every command is deterministic in --seed. *)
+
+open Cmdliner
+
+(* {2 Shared arguments} *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let k_arg default =
+  Arg.(
+    value & opt int default & info [ "k" ] ~docv:"K" ~doc:"Number of tokens.")
+
+let s_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "s"; "sources" ] ~docv:"S" ~doc:"Number of source nodes.")
+
+let csv_arg =
+  Arg.(
+    value & flag
+    & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
+
+let print_table ~csv t =
+  if csv then (
+    print_endline (Analysis.Table.to_csv t);
+    print_newline ())
+  else Analysis.Table.print t
+
+(* {2 run} *)
+
+type protocol_choice = Flooding | Single | Multi | Rw
+
+let protocol_conv =
+  Arg.enum
+    [ ("flooding", Flooding); ("single-source", Single);
+      ("multi-source", Multi); ("oblivious-rw", Rw) ]
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv Single
+    & info [ "protocol" ] ~docv:"PROTOCOL"
+        ~doc:
+          "One of $(b,flooding), $(b,single-source), $(b,multi-source), \
+           $(b,oblivious-rw).")
+
+type env_choice =
+  | Env_static
+  | Env_rotator
+  | Env_rewiring
+  | Env_markovian
+  | Env_fresh
+  | Env_cutter
+  | Env_lb
+
+let env_conv =
+  Arg.enum
+    [
+      ("static", Env_static); ("tree-rotator", Env_rotator);
+      ("rewiring", Env_rewiring); ("edge-markovian", Env_markovian);
+      ("fresh-random", Env_fresh); ("request-cutter", Env_cutter);
+      ("lower-bound", Env_lb);
+    ]
+
+let env_arg =
+  Arg.(
+    value & opt env_conv Env_rewiring
+    & info [ "env" ] ~docv:"ENV"
+        ~doc:
+          "Environment: $(b,static), $(b,tree-rotator), $(b,rewiring), \
+           $(b,edge-markovian), $(b,fresh-random), $(b,request-cutter) \
+           (adaptive, unicast only), or $(b,lower-bound) (the Section-2 \
+           strongly adaptive adversary, flooding only).")
+
+let sigma_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "sigma" ] ~docv:"SIGMA"
+        ~doc:"Edge-stability enforced on oblivious environments (>= 1).")
+
+let schedule_of_env ~env ~seed ~n ~sigma =
+  let stable s =
+    if sigma <= 1 then s else Adversary.Schedule.stabilized ~sigma s
+  in
+  match env with
+  | Env_static ->
+      Some
+        (Adversary.Oblivious.static
+           (Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed) ~n ~p:0.15))
+  | Env_rotator -> Some (stable (Adversary.Oblivious.tree_rotator ~seed ~n))
+  | Env_rewiring ->
+      Some
+        (stable (Adversary.Oblivious.rewiring ~seed ~n ~extra:n ~rate:0.25))
+  | Env_markovian ->
+      Some
+        (stable
+           (Adversary.Oblivious.edge_markovian ~seed ~n
+              ~p_up:(2. /. float_of_int n) ~p_down:0.3))
+  | Env_fresh -> Some (Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25)
+  | Env_cutter | Env_lb -> None
+
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "After the summary, dump the per-round learning curve as CSV \
+           (round,messages,learnings) for plotting.")
+
+let report_run ?(timeline = false) ~n ~k (result : Engine.Run_result.t) =
+  let ledger = result.ledger in
+  Format.printf "@[<v>%a@]@." Engine.Run_result.pp result;
+  Format.printf "amortized per token: %.2f@."
+    (Engine.Ledger.amortized ledger ~k);
+  Format.printf
+    "adversary-competitive (alpha=1): %.0f  [budget n^2+nk = %.0f]@."
+    (Engine.Ledger.competitive_cost ledger ~alpha:1.)
+    (Gossip.Bounds.single_source_budget ~n ~k);
+  Format.printf "per-node load: max %d, mean %.1f@."
+    (Engine.Ledger.max_load ledger)
+    (Engine.Ledger.mean_load ledger);
+  if timeline then begin
+    Format.printf "@.round,messages,learnings@.";
+    List.iter
+      (fun (r, msgs, learned) -> Format.printf "%d,%d,%d@." r msgs learned)
+      result.timeline
+  end
+
+let run_cmd =
+  let doc = "Run one protocol in one environment and print the cost ledger." in
+  let run protocol env n k s sigma seed timeline =
+    let instance =
+      match protocol with
+      | Single -> Gossip.Instance.single_source ~n ~k ~source:0
+      | Flooding | Multi | Rw ->
+          if s <= 1 then Gossip.Instance.single_source ~n ~k ~source:0
+          else
+            Gossip.Instance.multi_source
+              ~rng:(Dynet.Rng.make ~seed:(seed + 1))
+              ~n ~k ~s:(min s (min n k))
+    in
+    match (protocol, env) with
+    | (Single | Multi), Env_cutter ->
+        let envv =
+          Gossip.Runners.Request_cutting { seed; cut_prob = 0.7 }
+        in
+        let result =
+          match protocol with
+          | Single -> fst (Gossip.Runners.single_source ~instance ~env:envv ())
+          | Multi | Flooding | Rw ->
+              fst (Gossip.Runners.multi_source ~instance ~env:envv ())
+        in
+        report_run ~timeline ~n ~k result;
+        `Ok ()
+    | Flooding, Env_lb ->
+        let result, _, lb =
+          Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ()
+        in
+        report_run ~timeline ~n ~k result;
+        let history = Adversary.Broadcast_lb.history lb in
+        let max_c = List.fold_left (fun a (_, c) -> max a c) 0 history in
+        Format.printf "lower-bound adversary: max free components %d (log n = %.1f)@."
+          max_c (Gossip.Bounds.logn n);
+        `Ok ()
+    | _, (Env_cutter | Env_lb) ->
+        `Error
+          (false,
+           "request-cutter needs a unicast protocol; lower-bound needs \
+            flooding")
+    | _, _ -> (
+        match schedule_of_env ~env ~seed ~n ~sigma with
+        | None -> `Error (false, "unsupported environment")
+        | Some schedule -> (
+            match protocol with
+            | Flooding ->
+                let result, _ = Gossip.Runners.flooding ~instance ~schedule () in
+                report_run ~timeline ~n ~k result;
+                `Ok ()
+            | Single ->
+                let result, _ =
+                  Gossip.Runners.single_source ~instance
+                    ~env:(Gossip.Runners.Oblivious schedule) ()
+                in
+                report_run ~timeline ~n ~k result;
+                `Ok ()
+            | Multi ->
+                let result, _ =
+                  Gossip.Runners.multi_source ~instance
+                    ~env:(Gossip.Runners.Oblivious schedule) ()
+                in
+                report_run ~timeline ~n ~k result;
+                `Ok ()
+            | Rw ->
+                let r =
+                  Gossip.Runners.oblivious_rw ~instance ~schedule ~seed
+                    ~const_f:0.05 ~force_rw:true ()
+                in
+                Format.printf
+                  "@[<v>algorithm 2: centers=%d phase1=%d rounds (settled: %b) \
+                   phase2=%d rounds completed=%b@ %a@]@."
+                  r.Gossip.Oblivious_rw.centers
+                  r.Gossip.Oblivious_rw.phase1_rounds
+                  r.Gossip.Oblivious_rw.phase1_settled
+                  r.Gossip.Oblivious_rw.phase2_rounds
+                  r.Gossip.Oblivious_rw.completed Engine.Ledger.pp
+                  r.Gossip.Oblivious_rw.ledger;
+                Format.printf "paper messages (sans center chatter): %d@."
+                  r.Gossip.Oblivious_rw.paper_messages;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
+        $ sigma_arg $ seed_arg $ timeline_arg))
+
+(* {2 experiments} *)
+
+let experiment_names =
+  [
+    ("e0", `E0); ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4);
+    ("e6", `E6); ("e7", `E7); ("e8", `E8); ("e9", `E9); ("e10", `E10);
+    ("e11", `E11); ("e12", `E12); ("e13", `E13); ("e14", `E14);
+  ]
+
+let experiments_cmd =
+  let doc =
+    "Regenerate the paper's tables and figures (DESIGN.md experiments)."
+  in
+  let which =
+    Arg.(
+      value
+      & pos_all (Arg.enum experiment_names) []
+      & info [] ~docv:"ID"
+          ~doc:
+            "Experiment ids (e0 e1 ... e14); default: all.")
+  in
+  let run ids csv seed =
+    let selected = if ids = [] then List.map snd experiment_names else ids in
+    List.iter
+      (fun id ->
+        let table =
+          match id with
+          | `E0 -> Analysis.Experiments.environments ~seed ()
+          | `E1 -> Analysis.Experiments.table1 ~seed ()
+          | `E2 -> Analysis.Experiments.lower_bound ~seed ()
+          | `E3 -> Analysis.Experiments.free_edges ~seed ()
+          | `E4 -> Analysis.Experiments.single_source ~seed ()
+          | `E6 -> Analysis.Experiments.multi_source ~seed ()
+          | `E7 -> Analysis.Experiments.rw_scaling ~seed ()
+          | `E8 -> Analysis.Experiments.static_baseline ~seed ()
+          | `E9 -> Analysis.Experiments.time_vs_messages ~seed ()
+          | `E10 -> Analysis.Experiments.ablation ~seed ()
+          | `E11 -> Analysis.Experiments.rw_tradeoff ~seed ()
+          | `E12 -> Analysis.Experiments.coding_gap ~seed ()
+          | `E13 -> Analysis.Experiments.leader_election ~seed ()
+          | `E14 -> Analysis.Experiments.adaptivity ~seed ()
+        in
+        print_table ~csv table)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run $ which $ csv_arg $ seed_arg)
+
+(* {2 focused shortcuts} *)
+
+let table1_cmd =
+  let doc = "E1: the paper's Table 1 (Algorithm 2's amortized complexity)." in
+  let ns =
+    Arg.(
+      value
+      & opt (list int) [ 24; 32 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+  in
+  let run ns csv seed =
+    print_table ~csv (Analysis.Experiments.table1 ~ns ~seed ())
+  in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ ns $ csv_arg $ seed_arg)
+
+let lowerbound_cmd =
+  let doc = "E2+E3: the Section-2 local-broadcast lower bound." in
+  let ns =
+    Arg.(
+      value
+      & opt (list int) [ 16; 24; 32 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+  in
+  let run ns csv seed =
+    print_table ~csv (Analysis.Experiments.lower_bound ~ns ~seed ());
+    print_table ~csv (Analysis.Experiments.free_edges ~seed ())
+  in
+  Cmd.v (Cmd.info "lowerbound" ~doc) Term.(const run $ ns $ csv_arg $ seed_arg)
+
+let competitive_cmd =
+  let doc =
+    "E4/E5/E6: adversary-competitive accounting of the unicast algorithms."
+  in
+  let run csv seed =
+    print_table ~csv (Analysis.Experiments.single_source ~seed ());
+    print_table ~csv (Analysis.Experiments.multi_source ~seed ())
+  in
+  Cmd.v (Cmd.info "competitive" ~doc) Term.(const run $ csv_arg $ seed_arg)
+
+(* {2 sweep} *)
+
+let sweep_cmd =
+  let doc =
+    "Sweep node counts for one protocol x environment; one table row per \
+     size (use --csv for machine-readable output)."
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+  in
+  let k_factor_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "k-factor" ] ~docv:"F" ~doc:"Tokens per size: k = F * n.")
+  in
+  let run protocol env sizes k_factor sigma seed csv =
+    let rows = ref [] in
+    let ok = ref true in
+    List.iter
+      (fun n ->
+        let k = max 1 (k_factor * n) in
+        let run_one () =
+          match (protocol, env) with
+          | (Single | Multi), Env_cutter ->
+              let envv =
+                Gossip.Runners.Request_cutting { seed; cut_prob = 0.7 }
+              in
+              let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+              Some
+                (match protocol with
+                | Single ->
+                    fst (Gossip.Runners.single_source ~instance ~env:envv ())
+                | Multi | Flooding | Rw ->
+                    fst (Gossip.Runners.multi_source ~instance ~env:envv ()))
+          | _, (Env_cutter | Env_lb) -> None
+          | _, _ -> (
+              match schedule_of_env ~env ~seed:(seed + n) ~n ~sigma with
+              | None -> None
+              | Some schedule -> (
+                  match protocol with
+                  | Flooding ->
+                      let instance = Gossip.Instance.one_per_node ~n in
+                      Some (fst (Gossip.Runners.flooding ~instance ~schedule ()))
+                  | Single ->
+                      let instance =
+                        Gossip.Instance.single_source ~n ~k ~source:0
+                      in
+                      Some
+                        (fst
+                           (Gossip.Runners.single_source ~instance
+                              ~env:(Gossip.Runners.Oblivious schedule) ()))
+                  | Multi ->
+                      let instance =
+                        Gossip.Instance.multi_source
+                          ~rng:(Dynet.Rng.make ~seed:(seed + n))
+                          ~n ~k ~s:(min n k)
+                      in
+                      Some
+                        (fst
+                           (Gossip.Runners.multi_source ~instance
+                              ~env:(Gossip.Runners.Oblivious schedule) ()))
+                  | Rw -> None))
+        in
+        match run_one () with
+        | None -> ok := false
+        | Some result ->
+            let ledger = result.Engine.Run_result.ledger in
+            let k_used =
+              match protocol with Flooding -> n | Single | Multi | Rw -> k
+            in
+            rows :=
+              [
+                string_of_int n;
+                string_of_int k_used;
+                (if result.Engine.Run_result.completed then "yes" else "NO");
+                string_of_int result.Engine.Run_result.rounds;
+                Analysis.Table.fint (Engine.Ledger.total ledger);
+                Analysis.Table.fint (Engine.Ledger.tc ledger);
+                Analysis.Table.ffloat (Engine.Ledger.amortized ledger ~k:k_used);
+                Analysis.Table.ffloat
+                  (Engine.Ledger.amortized_competitive ledger ~alpha:1.
+                     ~k:k_used);
+              ]
+              :: !rows)
+      sizes;
+    if not !ok then
+      `Error (false, "this protocol/environment combination cannot be swept")
+    else begin
+      print_table ~csv
+        (Analysis.Table.make ~title:"size sweep"
+           ~columns:
+             [ "n"; "k"; "done"; "rounds"; "messages"; "TC"; "amortized";
+               "amortized (comp.)" ]
+           (List.rev !rows));
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      ret
+        (const run $ protocol_arg $ env_arg $ sizes_arg $ k_factor_arg
+        $ sigma_arg $ seed_arg $ csv_arg))
+
+let main_cmd =
+  let doc =
+    "information spreading in adversarial dynamic networks (Ahmadi et al., \
+     ICDCS 2019)"
+  in
+  let info = Cmd.info "dynspread" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      run_cmd; experiments_cmd; table1_cmd; lowerbound_cmd; competitive_cmd;
+      sweep_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,68 @@
+(* The Section-2 lower bound, live: the strongly adaptive adversary
+   samples its K'_v sets, then each round inspects every node's
+   announced broadcast, keeps all "free" edges (over which nothing new
+   can be learned) and spends the minimum number of non-free edges on
+   connectivity.  Rounds with few broadcasters make zero progress
+   (Lemma 2.2: the free edges alone are connected); no round makes more
+   than O(log n) progress (Lemma 2.1).
+
+   Run with: dune exec examples/adversarial_demo.exe *)
+
+let describe name (result : Engine.Run_result.t) lb ~k ~n =
+  let ledger = result.ledger in
+  let learnings = Engine.Ledger.learnings ledger in
+  let total = Engine.Ledger.total ledger in
+  (* Cost per fully disseminated token-equivalent: messages per
+     learning, scaled by the n-1 learnings a token needs. *)
+  let per_token =
+    if learnings = 0 then Float.infinity
+    else float_of_int total /. float_of_int learnings *. float_of_int (n - 1)
+  in
+  let history = Adversary.Broadcast_lb.history lb in
+  let max_components =
+    List.fold_left (fun acc (_, c) -> max acc c) 0 history
+  in
+  let silent_blocked =
+    List.filter
+      (fun (b, c) ->
+        float_of_int b <= Gossip.Bounds.sparse_broadcaster_threshold ~n ()
+        && c = 1)
+      history
+    |> List.length
+  in
+  Format.printf
+    "%-14s %8s %6d rounds %9d msgs  %8.0f per-token  (floor %.0f)@." name
+    (if result.completed then "done" else "capped")
+    result.rounds total per_token
+    (Gossip.Bounds.lb_amortized ~n);
+  Format.printf
+    "               learnings %d/%d; free-component max %d (log n = %.0f);@.\
+    \               %d sparse rounds had a single free component (no progress)@."
+    learnings
+    (k * (n - 1))
+    max_components (Gossip.Bounds.logn n) silent_blocked
+
+let () =
+  let n = 32 in
+  let instance = Gossip.Instance.one_per_node ~n in
+  let k = Gossip.Instance.k instance in
+  Format.printf
+    "Strongly adaptive adversary vs three broadcast strategies (n = k = %d)@.@."
+    n;
+  let result, _, lb =
+    Gossip.Runners.flooding_vs_lower_bound ~instance ~seed:3 ()
+  in
+  describe "flooding" result lb ~k ~n;
+  let result, _, lb =
+    Gossip.Runners.greedy_vs_lower_bound ~instance
+      ~policy:Gossip.Greedy_bcast.Random_token ~seed:4 ~max_rounds:(n * k) ()
+  in
+  describe "random-token" result lb ~k ~n;
+  let result, _, lb =
+    Gossip.Runners.greedy_vs_lower_bound ~instance
+      ~policy:(Gossip.Greedy_bcast.Lazy 0.15) ~seed:5 ~max_rounds:(n * k) ()
+  in
+  describe "lazy (p=0.15)" result lb ~k ~n;
+  Format.printf
+    "@.Every strategy pays at least the n^2/log^2 n floor per token actually@.\
+     delivered; staying silent only starves progress (Lemma 2.2).@."

@@ -1,0 +1,38 @@
+(* The token-forwarding barrier, live (Section 1.2 of the paper).
+
+   Token-forwarding algorithms cannot beat Omega(nk/log n) rounds (and
+   Omega(n^2/log^2 n) amortized broadcasts) against a strongly adaptive
+   adversary.  Network coding is exempt: nodes broadcast random GF(2)
+   combinations of what they know, and everyone decodes once their
+   received packets reach full rank - O(n + k) rounds, at the price of
+   k-bit coefficient vectors per message.
+
+   Run with: dune exec examples/coded_gossip.exe *)
+
+let () =
+  Format.printf
+    "n-gossip, identical fresh-random dynamic networks, same seeds:@.@.";
+  Format.printf "%4s  %18s  %18s  %8s@." "n" "flooding (rounds)"
+    "coding (rounds)" "speedup";
+  List.iter
+    (fun n ->
+      let instance = Gossip.Instance.one_per_node ~n in
+      let schedule seed = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25 in
+      let flood, _ =
+        Gossip.Runners.flooding ~instance ~schedule:(schedule n) ()
+      in
+      let coded, states =
+        Gossip.Runners.coded_broadcast ~instance ~schedule:(schedule n)
+          ~seed:(n * 3) ()
+      in
+      assert (Gossip.Coded_bcast.all_decoded ~k:n states);
+      Format.printf "%4d  %18d  %18d  %7.1fx@." n
+        flood.Engine.Run_result.rounds coded.Engine.Run_result.rounds
+        (float_of_int flood.Engine.Run_result.rounds
+        /. float_of_int coded.Engine.Run_result.rounds))
+    [ 12; 16; 24; 32; 48 ];
+  Format.printf
+    "@.Every coded run fully decodes (checked against the real payloads).@.\
+     The catch: each coded packet carries a k-bit coefficient vector, far@.\
+     beyond the O(log n) bits a token-forwarding message may use - which@.\
+     is exactly why the paper's lower bounds do not apply to coding.@."

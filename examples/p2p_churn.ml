@@ -1,0 +1,55 @@
+(* P2P overlay under churn: every peer publishes a batch of updates
+   (multi-source gossip).  Compares plain message complexity with the
+   adversary-competitive accounting (Definition 1.3) across increasingly
+   hostile environments, including the adaptive request-cutter.
+
+   Run with: dune exec examples/p2p_churn.exe *)
+
+let run_env name env instance =
+  let n = Gossip.Instance.n instance in
+  let k = Gossip.Instance.k instance in
+  let s = Gossip.Instance.source_count instance in
+  let result, _ = Gossip.Runners.multi_source ~instance ~env () in
+  let ledger = result.Engine.Run_result.ledger in
+  Format.printf
+    "%-18s %9s %7d rounds %8d msgs %6d TC %10.0f competitive (budget %.0f)@."
+    name
+    (if result.Engine.Run_result.completed then "done" else "CAPPED")
+    result.Engine.Run_result.rounds
+    (Engine.Ledger.total ledger)
+    (Engine.Ledger.tc ledger)
+    (Engine.Ledger.competitive_cost ledger ~alpha:1.)
+    (Gossip.Bounds.multi_source_budget ~n ~k ~s)
+
+let () =
+  let n = 24 in
+  let peers_with_updates = 6 in
+  let k = 48 in
+  let rng = Dynet.Rng.make ~seed:7 in
+  let instance =
+    Gossip.Instance.multi_source ~rng ~n ~k ~s:peers_with_updates
+  in
+  Format.printf "P2P overlay: %d peers, %d publishers, %d updates@.@." n
+    peers_with_updates k;
+  let stable sched = Adversary.Schedule.stabilized ~sigma:3 sched in
+  run_env "static overlay"
+    (Gossip.Runners.Oblivious
+       (Adversary.Oblivious.static
+          (Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed:11) ~n
+             ~p:0.15)))
+    instance;
+  run_env "mild churn"
+    (Gossip.Runners.Oblivious
+       (stable (Adversary.Oblivious.rewiring ~seed:12 ~n ~extra:n ~rate:0.1)))
+    instance;
+  run_env "heavy churn"
+    (Gossip.Runners.Oblivious
+       (stable (Adversary.Oblivious.tree_rotator ~seed:13 ~n)))
+    instance;
+  run_env "request cutter"
+    (Gossip.Runners.Request_cutting { seed = 14; cut_prob = 0.5 })
+    instance;
+  Format.printf
+    "@.The competitive column stays near the O(n^2 s + nk) budget no matter@.\
+     how much the environment churns: every extra message the protocol had@.\
+     to send is matched by a topology change the adversary had to make.@."

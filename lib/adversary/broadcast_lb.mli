@@ -1,0 +1,78 @@
+(** The strongly adaptive lower-bound adversary of Section 2.
+
+    This is an executable version of the adversary used to prove
+    Theorem 2.3 (the Ω(n²/log²n) amortized-broadcast lower bound).  At
+    creation it samples, for every node [v], a set [K'_v] containing
+    each of the [k] tokens independently with probability 1/4 (the
+    probabilistic-method choice of Lemmas 2.1/2.2).  Then, every round,
+    {e after} seeing each node's announced broadcast [i_v(r)] and
+    current knowledge [K_v(r-1)] — precisely the power of a strongly
+    adaptive adversary — it:
+
+    + computes the {e free} edges: [{u, v}] is free iff
+      [i_u(r) ∈ {⊥} ∪ K_v(r-1) ∪ K'_v] and symmetrically, i.e. no
+      communication over the edge advances the potential
+      [Φ(t) = Σ_v |K_v(t) ∪ K'_v|];
+    + emits a spanning forest of the free-edge graph [F(r)] (fewer
+      edges than "all free edges", equally free);
+    + connects the [ℓ] remaining components with [ℓ - 1] non-free
+      edges, the minimum connectivity requires — each adds at most 2 to
+      the potential.
+
+    Silent nodes are pairwise free (Lemma 2.2's [B̄] clique), so rounds
+    with few broadcasters make no progress at all, which is what forces
+    every algorithm to spend Ω(n/log n) broadcasts per productive round.
+
+    Tokens are plain integers [0 .. k-1] here so this module stays
+    independent of any particular protocol's state type; the gossip
+    layer adapts its states via {!to_engine}. *)
+
+type t
+
+val create : rng:Dynet.Rng.t -> n:int -> k:int -> t
+(** Samples the [K'_v] sets.
+    @raise Invalid_argument if [n < 1] or [k < 1]. *)
+
+val n : t -> int
+val k : t -> int
+
+val in_k_prime : t -> Dynet.Node_id.t -> int -> bool
+(** Whether token [i] was sampled into [K'_v]. *)
+
+val k_prime_size : t -> int
+(** [Σ_v |K'_v|]; the proof needs this ≤ 0.3nk (holds with probability
+    exponentially close to 1). *)
+
+type view = {
+  knows : Dynet.Node_id.t -> int -> bool;
+      (** Membership in [K_v(r-1)]: the node's knowledge {e before}
+          this round's delivery. *)
+  chosen : int option array;
+      (** [i_v(r)]: the token each node announced it will broadcast
+          this round; [None] = silent ([⊥]). *)
+}
+
+val next_graph : t -> view -> Dynet.Graph.t
+(** The adversary's round graph (always connected).  Also appends one
+    entry to {!history}. *)
+
+val history : t -> (int * int) list
+(** Per adversary-driven round, oldest first:
+    [(broadcasting nodes, components of F(r) after adding free edges)].
+    Lemma 2.2 predicts component count 1 whenever broadcasters
+    ≤ n/(c·log n); Lemma 2.1 predicts O(log n) always. *)
+
+val phi : t -> knows:(Dynet.Node_id.t -> int -> bool) -> int
+(** Current potential [Φ = Σ_v |K_v ∪ K'_v|].  Dissemination is solved
+    only when [Φ = n·k]; the adversary caps its growth at
+    [O(log n)] per round. *)
+
+val to_engine :
+  t ->
+  knows:('state -> int -> bool) ->
+  token_of:('msg -> int option) ->
+  ('state, 'msg) Engine.Runner_broadcast.adversary
+(** Adapter for {!Engine.Runner_broadcast.run}: [knows] reads a node
+    state's token knowledge, [token_of] extracts the token a broadcast
+    message carries ([None] for non-token chatter, treated as [⊥] for
+    freeness but still counted as a message by the engine). *)

@@ -1,0 +1,110 @@
+open Dynet
+
+let require_connected name g =
+  if not (Graph.is_connected g) then
+    invalid_arg (name ^ ": graph must be connected")
+
+let static g =
+  require_connected "Oblivious.static" g;
+  Schedule.of_fun ~n:(Graph.n g) (fun _ -> g)
+
+(* Per-round derived rng: independent of how many random bits other
+   rounds consume, so the commitment is honest. *)
+let round_rng ~seed r = Rng.make ~seed:(seed + (1000003 * r))
+
+let fresh_random ~seed ~n ~p =
+  Schedule.of_fun ~n (fun r -> Graph_gen.random_connected (round_rng ~seed r) ~n ~p)
+
+let tree_rotator ~seed ~n =
+  Schedule.of_fun ~n (fun r -> Graph_gen.random_tree (round_rng ~seed r) ~n)
+
+let random_non_tree_edge rng ~n tree_edges =
+  if n < 3 then None
+  else begin
+    let rec try_draw attempts =
+      if attempts = 0 then None
+      else
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u = v then try_draw (attempts - 1)
+        else
+          let e = Edge.make u v in
+          if Edge_set.mem e tree_edges then try_draw (attempts - 1) else Some e
+    in
+    try_draw 32
+  end
+
+let rewiring ~seed ~n ~extra ~rate =
+  let base_rng = Rng.make ~seed in
+  let tree = Graph_gen.random_tree base_rng ~n in
+  let tree_edges = Graph.edges tree in
+  let draw_extras rng count =
+    let rec loop acc remaining =
+      if remaining = 0 then acc
+      else
+        match random_non_tree_edge rng ~n tree_edges with
+        | None -> acc
+        | Some e -> loop (Edge_set.add e acc) (remaining - 1)
+    in
+    loop Edge_set.empty count
+  in
+  let initial = draw_extras (Rng.split base_rng) extra in
+  Schedule.iterate ~n
+    ~init:(fun () -> Graph.make ~n (Edge_set.union tree_edges initial))
+    (fun r prev ->
+      let rng = round_rng ~seed:(seed lxor 0x5bd1) r in
+      let kept =
+        Edge_set.filter
+          (fun _ -> not (Rng.bernoulli rng rate))
+          (Edge_set.diff (Graph.edges prev) tree_edges)
+      in
+      let missing = extra - Edge_set.cardinal kept in
+      let fresh = draw_extras rng (max 0 missing) in
+      Graph.make ~n (Edge_set.union tree_edges (Edge_set.union kept fresh)))
+
+let patch_connected rng ~n edges =
+  let g = Graph.make ~n edges in
+  if Graph.is_connected g then g
+  else
+    let tree = Graph_gen.random_tree rng ~n in
+    Graph.union g tree
+
+let edge_markovian ~seed ~n ~p_up ~p_down =
+  Schedule.iterate ~n
+    ~init:(fun () -> Graph_gen.random_tree (Rng.make ~seed) ~n)
+    (fun r prev ->
+      let rng = round_rng ~seed:(seed lxor 0x193a) r in
+      let prev_edges = Graph.edges prev in
+      let edges = ref Edge_set.empty in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let present = Edge_set.mem_pair u v prev_edges in
+          let next =
+            if present then not (Rng.bernoulli rng p_down)
+            else Rng.bernoulli rng p_up
+          in
+          if next then edges := Edge_set.add_pair u v !edges
+        done
+      done;
+      patch_connected rng ~n !edges)
+
+let churn_bursts ~seed ~n ~period ~quiet =
+  if period < 1 then invalid_arg "Oblivious.churn_bursts: period must be >= 1";
+  require_connected "Oblivious.churn_bursts" quiet;
+  if Graph.n quiet <> n then
+    invalid_arg "Oblivious.churn_bursts: quiet graph has wrong node count";
+  Schedule.of_fun ~n (fun r ->
+      if r mod period = 0 then Graph_gen.random_tree (round_rng ~seed r) ~n
+      else quiet)
+
+let all_named ~n ~seed =
+  [
+    ("static-random", static (Graph_gen.random_connected (Rng.make ~seed) ~n ~p:0.1));
+    ("static-cycle", static (Graph_gen.cycle ~n));
+    ("fresh-random", fresh_random ~seed ~n ~p:0.05);
+    ("tree-rotator", tree_rotator ~seed ~n);
+    ("rewiring", rewiring ~seed ~n ~extra:n ~rate:0.2);
+    ( "edge-markovian",
+      edge_markovian ~seed ~n ~p_up:(2. /. float_of_int n) ~p_down:0.3 );
+    ( "churn-bursts",
+      churn_bursts ~seed ~n ~period:8 ~quiet:(Graph_gen.cycle ~n) );
+  ]

@@ -1,0 +1,48 @@
+(** Concrete oblivious-adversary families.
+
+    Each constructor commits to a whole topology sequence from a seed.
+    Every produced round graph is connected; families differ in how
+    much churn (topological change, [TC]) they generate per round —
+    from zero ([static]) to Θ(n) per round ([tree_rotator]) — which is
+    the control variable of the adversary-competitive experiments.
+
+    The oblivious model is exactly what Theorem 3.8 assumes for
+    Algorithm 2; it also subsumes benign environments (e.g. P2P churn)
+    for the deterministic algorithms. *)
+
+val static : Dynet.Graph.t -> Schedule.t
+(** The same connected graph every round ([TC] = initial edge count).
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val fresh_random : seed:int -> n:int -> p:float -> Schedule.t
+(** An independent connected [G(n, p)]-plus-tree graph every round:
+    heavy churn, no structure persists. *)
+
+val tree_rotator : seed:int -> n:int -> Schedule.t
+(** A fresh uniform-ish random spanning tree every round: sparse
+    (exactly [n-1] edges) and maximal churn relative to size — the
+    harshest benign environment for the request/response protocols. *)
+
+val rewiring : seed:int -> n:int -> extra:int -> rate:float -> Schedule.t
+(** A fixed random spanning tree backbone plus [extra] non-tree edges;
+    every round, each non-tree edge is independently re-drawn with
+    probability [rate].  [rate = 0] is static; [rate = 1] re-draws all
+    extras every round.  Churn per round ≈ [rate·extra]. *)
+
+val edge_markovian : seed:int -> n:int -> p_up:float -> p_down:float -> Schedule.t
+(** The classic edge-Markovian evolving graph: each absent edge appears
+    with probability [p_up], each present edge disappears with
+    probability [p_down], independently per round; a random spanning
+    tree is overlaid whenever the sample is disconnected (connectivity
+    patch-up). *)
+
+val churn_bursts :
+  seed:int -> n:int -> period:int -> quiet:Dynet.Graph.t -> Schedule.t
+(** [quiet] topology on most rounds, with a completely fresh random
+    tree every [period]-th round: models epochal reconfiguration.
+    @raise Invalid_argument if [period < 1] or [quiet] is
+    disconnected. *)
+
+val all_named : n:int -> seed:int -> (string * Schedule.t) list
+(** A representative instance of every family under a stable name, for
+    table-driven tests and sweeps. *)

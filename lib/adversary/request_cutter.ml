@@ -1,0 +1,50 @@
+open Dynet
+
+let adversary ~seed ~n ~cut_prob =
+  if n < 1 then invalid_arg "Request_cutter.adversary: n must be >= 1";
+  if cut_prob < 0. || cut_prob > 1. then
+    invalid_arg "Request_cutter.adversary: cut_prob must be in [0, 1]";
+  let rng = Rng.make ~seed in
+  fun ~round ~prev ~states:_ ~traffic ->
+    if round = 1 then Graph_gen.random_tree rng ~n
+    else begin
+      let requested =
+        List.fold_left
+          (fun acc (src, dst, cls) ->
+            match cls with
+            | Engine.Msg_class.Request -> Edge_set.add_pair src dst acc
+            | Engine.Msg_class.Token | Engine.Msg_class.Completeness
+            | Engine.Msg_class.Walk | Engine.Msg_class.Center
+            | Engine.Msg_class.Control ->
+                acc)
+          Edge_set.empty traffic
+      in
+      let cut = Edge_set.filter (fun _ -> Rng.bernoulli rng cut_prob) requested in
+      let surviving = Edge_set.diff (Graph.edges prev) cut in
+      let g = Graph.make ~n surviving in
+      if Graph.is_connected g then g
+      else begin
+        (* Reconnect by chaining a random member of each component;
+           every added edge is a fresh topological change the ledger
+           charges to the adversary. *)
+        let uf = Graph.components g in
+        let comps = Union_find.components uf in
+        let pick_member members =
+          let arr = Array.of_list members in
+          Rng.pick rng arr
+        in
+        match comps with
+        | [] | [ _ ] -> g
+        | first :: rest ->
+            let edges =
+              fst
+                (List.fold_left
+                   (fun (acc, prev_rep) comp ->
+                     let rep = pick_member comp in
+                     (Edge_set.add_pair prev_rep rep acc, rep))
+                   (surviving, pick_member first)
+                   rest)
+            in
+            Graph.make ~n edges
+      end
+    end

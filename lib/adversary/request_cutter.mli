@@ -1,0 +1,22 @@
+(** An adaptive unicast adversary that attacks the request/response
+    pattern of the Single/Multi-Source algorithms (Section 3.1).
+
+    Theorem 3.1 charges each "wasted" token request — one whose edge
+    disappears before the response can cross it — to the adversary's
+    own topological changes.  This adversary realizes the worst case:
+    it watches the wire, and every edge that carried a
+    {!Engine.Msg_class.Request} in the previous round is deleted with
+    probability [cut_prob] before the response round; connectivity is
+    then patched with fresh random edges (each insertion paying into
+    [TC]).
+
+    With [cut_prob = 1] dissemination never completes (the adversary
+    pays unbounded [TC] and the run hits its round cap — which is fine:
+    the theorem bounds messages {e as a function of} [TC], not time);
+    with [cut_prob < 1] runs complete and the measured message total
+    minus [TC] stays within the [O(n² + nk)] budget.  Both regimes are
+    exercised by the tests and benches. *)
+
+val adversary :
+  seed:int -> n:int -> cut_prob:float -> 's Engine.Runner_unicast.adversary
+(** @raise Invalid_argument if [n < 1] or [cut_prob ∉ [0, 1]]. *)

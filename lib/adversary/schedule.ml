@@ -1,0 +1,59 @@
+type rule =
+  | Stateless of (int -> Dynet.Graph.t)
+  | Markov of (unit -> Dynet.Graph.t) * (int -> Dynet.Graph.t -> Dynet.Graph.t)
+
+type t = {
+  n : int;
+  rule : rule;
+  mutable cache : Dynet.Graph.t array;
+  mutable filled : int;
+}
+
+let n t = t.n
+
+let ensure_capacity t r =
+  let cap = Array.length t.cache in
+  if r > cap then begin
+    let fresh = Array.make (max r (max 16 (2 * cap))) (Dynet.Graph.empty ~n:t.n) in
+    Array.blit t.cache 0 fresh 0 t.filled;
+    t.cache <- fresh
+  end
+
+let get t r =
+  if r < 1 then invalid_arg "Schedule.get: rounds are 1-based";
+  ensure_capacity t r;
+  while t.filled < r do
+    let next = t.filled + 1 in
+    let g =
+      match t.rule with
+      | Stateless f -> f next
+      | Markov (init, step) ->
+          if next = 1 then init () else step next t.cache.(next - 2)
+    in
+    t.cache.(next - 1) <- g;
+    t.filled <- next
+  done;
+  t.cache.(r - 1)
+
+let of_fun ~n f = { n; rule = Stateless f; cache = [||]; filled = 0 }
+
+let iterate ~n ~init step =
+  { n; rule = Markov (init, step); cache = [||]; filled = 0 }
+
+let stabilized ~sigma base =
+  let holder = Dynet.Stability.create ~sigma ~n:base.n in
+  (* The stability transform is sequential; driving it from a Markov
+     rule guarantees rounds are produced in order exactly once. *)
+  iterate ~n:base.n
+    ~init:(fun () -> Dynet.Stability.step holder (get base 1))
+    (fun r _prev -> Dynet.Stability.step holder (get base r))
+
+let overlay a b =
+  if a.n <> b.n then invalid_arg "Schedule.overlay: node counts differ";
+  of_fun ~n:a.n (fun r -> Dynet.Graph.union (get a r) (get b r))
+
+let prefix t x =
+  Dynet.Dyn_seq.of_graphs (List.init x (fun i -> get t (i + 1)))
+
+let unicast t ~round ~prev:_ ~states:_ ~traffic:_ = get t round
+let broadcast t ~round ~prev:_ ~states:_ ~intents:_ = get t round

@@ -1,0 +1,50 @@
+(** Pre-committed (oblivious) dynamic-graph schedules.
+
+    An oblivious adversary (Section 1.3) must commit to the whole
+    sequence of round graphs before the execution starts.  A schedule
+    is such a commitment: round [r]'s graph is a pure function of the
+    schedule's seed and [r], never of the algorithm's behaviour.
+    Graphs are generated on demand and memoized, so a schedule behaves
+    exactly like a pre-committed infinite sequence while only paying
+    for the rounds actually executed.
+
+    Use {!Oblivious} for the concrete schedule families and
+    {!unicast}/{!broadcast} to plug a schedule into an engine. *)
+
+type t
+
+val n : t -> int
+
+val get : t -> int -> Dynet.Graph.t
+(** [get t r] is the committed graph of round [r] (1-based).  Repeated
+    calls return the identical graph.
+    @raise Invalid_argument if [r < 1]. *)
+
+val of_fun : n:int -> (int -> Dynet.Graph.t) -> t
+(** Stateless rule: round [r]'s graph depends on [r] only.  The rule is
+    called at most once per round (results are memoized). *)
+
+val iterate :
+  n:int -> init:(unit -> Dynet.Graph.t) -> (int -> Dynet.Graph.t -> Dynet.Graph.t) -> t
+(** Markovian rule: round 1 is [init ()], round [r > 1] is
+    [rule r g_{r-1}].  Each is computed once, in order, memoized. *)
+
+val stabilized : sigma:int -> t -> t
+(** σ-edge-stable view of a schedule (young edges held down, see
+    {!Dynet.Stability}); still oblivious since the transformation
+    depends only on the underlying committed sequence. *)
+
+val overlay : t -> t -> t
+(** Edge-union of two committed schedules, round by round: e.g. a
+    static backbone overlaid with a churning extra-edge family.  Still
+    oblivious (both inputs are committed).
+    @raise Invalid_argument if node counts differ. *)
+
+val prefix : t -> int -> Dynet.Dyn_seq.t
+(** The first [x] rounds as a recorded sequence (for offline checks:
+    connectivity, TC, σ-stability). *)
+
+val unicast : t -> 'state Engine.Runner_unicast.adversary
+(** Adapter ignoring all observed state, as obliviousness demands. *)
+
+val broadcast : t -> ('state, 'msg) Engine.Runner_broadcast.adversary

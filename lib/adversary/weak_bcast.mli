@@ -1,0 +1,24 @@
+(** A weakly adaptive broadcast adversary (footnote 4 of the paper).
+
+    A {e weakly} adaptive adversary knows the algorithm's random
+    choices only up to the {e previous} round: here, it observes who
+    broadcast in round [r-1] (and what they sent) but must commit to
+    round [r]'s graph before seeing round [r]'s choices.  This sits
+    strictly between the oblivious adversary (sees nothing) and the
+    strongly adaptive one of Section 2 (sees the current round's
+    broadcasts before wiring the graph); the E14 bench measures the
+    progress each level of adaptivity allows.
+
+    Strategy ({e silent-hub isolation}): wire a star whose hub is a
+    node that stayed silent last round (hoping it stays silent, so its
+    position at the center wastes nothing), making every recent
+    broadcaster a leaf — a leaf's next broadcast reaches one node
+    instead of a neighborhood.  Ties are broken randomly from the
+    adversary's own seed. *)
+
+val make :
+  seed:int -> n:int -> ('state, 'msg) Engine.Runner_broadcast.adversary
+(** The returned closure is stateful (it remembers the previous
+    round's broadcasters) but never reads the current round's
+    [intents] or [states] — the definition of weak adaptivity.
+    @raise Invalid_argument if [n < 2]. *)

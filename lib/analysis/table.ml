@@ -1,0 +1,95 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows =
+  let width = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Table.make: row %d has %d cells, expected %d" i
+             (List.length row) width))
+    rows;
+  { title; columns; rows; notes }
+
+let title t = t.title
+let columns t = t.columns
+let rows t = t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x' || c = '%')
+       s
+
+let render t =
+  let all_rows = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all_rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let pad_len = w - String.length cell in
+    if looks_numeric cell then String.make pad_len ' ' ^ cell
+    else cell ^ String.make pad_len ' '
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule = String.make (max total_width (String.length t.title)) '-' in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("  " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  (t.columns :: t.rows)
+  |> List.map (fun row -> String.concat "," (List.map csv_escape row))
+  |> String.concat "\n"
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fint i =
+  if abs i < 100_000 then string_of_int i
+  else Printf.sprintf "%.2e" (float_of_int i)
+
+let ffloat x =
+  if Float.is_integer x && Float.abs x < 100_000. then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100_000. || (Float.abs x < 0.01 && x <> 0.) then
+    Printf.sprintf "%.2e" x
+  else Printf.sprintf "%.3g" x
+
+let fratio x = Printf.sprintf "%.2fx" x

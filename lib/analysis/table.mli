@@ -1,0 +1,40 @@
+(** Aligned ASCII tables (and CSV) for the experiment harness.
+
+    Every experiment renders one of these: a title, a header row, data
+    rows, and optional footnotes — mirroring how the paper reports its
+    results (its Table 1 and the per-theorem bounds). *)
+
+type t
+
+val make :
+  title:string -> columns:string list -> ?notes:string list ->
+  string list list -> t
+(** @raise Invalid_argument if any row's width differs from the
+    header's. *)
+
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+
+val render : t -> string
+(** Fixed-width ASCII rendering: title, rule, aligned columns (numbers
+    right-aligned heuristically), rule, notes. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes fields containing commas/quotes), header
+    row first; title and notes are not included. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(* {2 Cell formatting helpers} *)
+
+val fint : int -> string
+(** Grouped thousands: [12_345] -> ["12345"] stays plain below 10^5,
+    then switches to scientific-ish ["1.23e7"] to keep columns narrow. *)
+
+val ffloat : float -> string
+(** Compact float: 3 significant digits, scientific for big/small. *)
+
+val fratio : float -> string
+(** A ratio like measured/bound, rendered as ["0.42x"]. *)

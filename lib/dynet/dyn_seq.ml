@@ -1,0 +1,68 @@
+type t = { n : int; rounds : Graph.t array }
+
+let of_graphs = function
+  | [] -> invalid_arg "Dyn_seq.of_graphs: empty sequence"
+  | g :: _ as gs ->
+      let n = Graph.n g in
+      List.iter
+        (fun g' ->
+          if Graph.n g' <> n then
+            invalid_arg "Dyn_seq.of_graphs: node counts disagree")
+        gs;
+      { n; rounds = Array.of_list gs }
+
+let length t = Array.length t.rounds
+let n t = t.n
+
+let get t r =
+  if r = 0 then Graph.empty ~n:t.n
+  else if r >= 1 && r <= length t then t.rounds.(r - 1)
+  else invalid_arg "Dyn_seq.get: round out of range"
+
+let insertions t r = Edge_set.diff (Graph.edges (get t r)) (Graph.edges (get t (r - 1)))
+let removals t r = Edge_set.diff (Graph.edges (get t (r - 1))) (Graph.edges (get t r))
+
+let sum_over_rounds t f =
+  let total = ref 0 in
+  for r = 1 to length t do
+    total := !total + f t r
+  done;
+  !total
+
+let tc t = sum_over_rounds t (fun t r -> Edge_set.cardinal (insertions t r))
+
+let total_removals t =
+  sum_over_rounds t (fun t r -> Edge_set.cardinal (removals t r))
+
+let all_connected t =
+  let ok = ref true in
+  for r = 1 to length t do
+    if not (Graph.is_connected (get t r)) then ok := false
+  done;
+  !ok
+
+let is_sigma_stable t ~sigma =
+  if sigma < 1 then invalid_arg "Dyn_seq.is_sigma_stable: sigma must be >= 1";
+  let x = length t in
+  (* Collect every edge ever present, then check its presence runs. *)
+  let all_edges =
+    Array.fold_left
+      (fun acc g -> Edge_set.union acc (Graph.edges g))
+      Edge_set.empty t.rounds
+  in
+  let run_ok e =
+    let ok = ref true in
+    let run_start = ref 0 in
+    (* run_start = 0 means "not currently in a run". *)
+    for r = 1 to x do
+      let present = Edge_set.mem e (Graph.edges (get t r)) in
+      if present && !run_start = 0 then run_start := r;
+      if (not present) && !run_start > 0 then begin
+        if r - !run_start < sigma then ok := false;
+        run_start := 0
+      end
+    done;
+    (* A run still open at round x is accepted regardless of length. *)
+    !ok
+  in
+  Edge_set.for_all run_ok all_edges

@@ -1,0 +1,22 @@
+type t = { u : Node_id.t; v : Node_id.t }
+
+let make a b =
+  if a < 0 || b < 0 then invalid_arg "Edge.make: negative node id";
+  if a = b then invalid_arg "Edge.make: self-loop";
+  if a < b then { u = a; v = b } else { u = b; v = a }
+
+let endpoints e = (e.u, e.v)
+
+let other e x =
+  if x = e.u then e.v
+  else if x = e.v then e.u
+  else invalid_arg "Edge.other: node not incident to edge"
+
+let incident e x = x = e.u || x = e.v
+
+let compare a b =
+  let c = Node_id.compare a.u b.u in
+  if c <> 0 then c else Node_id.compare a.v b.v
+
+let equal a b = compare a b = 0
+let pp ppf e = Format.fprintf ppf "{%a,%a}" Node_id.pp e.u Node_id.pp e.v

@@ -1,0 +1,29 @@
+(** Canonical undirected edges.
+
+    An edge is a pair of distinct node identifiers stored in canonical
+    order (smaller endpoint first), so that [{u, v}] and [{v, u}]
+    compare equal.  Self-loops are rejected: the dynamic graphs of the
+    paper are simple graphs (the virtual self-loops of Algorithm 2 are a
+    modelling device handled inside the random-walk protocol, never
+    materialized as graph edges). *)
+
+type t = private { u : Node_id.t; v : Node_id.t }
+(** Invariant: [u < v]. *)
+
+val make : Node_id.t -> Node_id.t -> t
+(** [make a b] is the canonical edge [{a, b}].
+    @raise Invalid_argument if [a = b] (self-loop) or either is
+    negative. *)
+
+val endpoints : t -> Node_id.t * Node_id.t
+(** [(u, v)] with [u < v]. *)
+
+val other : t -> Node_id.t -> Node_id.t
+(** [other e x] is the endpoint of [e] that is not [x].
+    @raise Invalid_argument if [x] is not an endpoint of [e]. *)
+
+val incident : t -> Node_id.t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

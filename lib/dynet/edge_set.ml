@@ -1,0 +1,35 @@
+module S = Set.Make (Edge)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let cardinal = S.cardinal
+let mem = S.mem
+let add = S.add
+let remove = S.remove
+let singleton = S.singleton
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let equal = S.equal
+let subset = S.subset
+let of_list = S.of_list
+let to_list = S.elements
+let iter = S.iter
+let fold = S.fold
+let filter = S.filter
+let for_all = S.for_all
+let exists = S.exists
+let choose_opt = S.choose_opt
+let add_pair u v s = S.add (Edge.make u v) s
+let mem_pair u v s = S.mem (Edge.make u v) s
+
+let incident_to x s =
+  S.fold (fun e acc -> if Edge.incident e x then e :: acc else acc) s []
+
+let pp ppf s =
+  Format.fprintf ppf "@[<hov 1>{%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Edge.pp)
+    (to_list s)

@@ -1,0 +1,47 @@
+(** Persistent sets of undirected edges.
+
+    The dynamic-network model of the paper works with per-round edge
+    sets [E_r] and their deltas [E⁺_r = E_r \ E_{r-1}] (insertions) and
+    [E⁻_r = E_{r-1} \ E_r] (removals).  This module provides the set
+    algebra those definitions need, plus helpers used by graph
+    construction and the adversaries. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val mem : Edge.t -> t -> bool
+val add : Edge.t -> t -> t
+val remove : Edge.t -> t -> t
+val singleton : Edge.t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is [a \ b]; [diff e_r e_{r-1}] is the paper's [E⁺_r]. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val of_list : Edge.t list -> t
+val to_list : t -> Edge.t list
+(** Edges in increasing {!Edge.compare} order. *)
+
+val iter : (Edge.t -> unit) -> t -> unit
+val fold : (Edge.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Edge.t -> bool) -> t -> t
+val for_all : (Edge.t -> bool) -> t -> bool
+val exists : (Edge.t -> bool) -> t -> bool
+val choose_opt : t -> Edge.t option
+
+val add_pair : Node_id.t -> Node_id.t -> t -> t
+(** [add_pair u v s] adds the canonical edge [{u, v}]. *)
+
+val mem_pair : Node_id.t -> Node_id.t -> t -> bool
+
+val incident_to : Node_id.t -> t -> Edge.t list
+(** All edges of the set incident to the given node (linear scan;
+    intended for tests and small adversary bookkeeping — use
+    {!Graph.neighbors} for hot paths). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let seq_to_csv seq =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "round,edges,insertions,removals,connected\n";
+  for r = 1 to Dyn_seq.length seq do
+    let g = Dyn_seq.get seq r in
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d,%d,%d,%b\n" r (Graph.edge_count g)
+         (Edge_set.cardinal (Dyn_seq.insertions seq r))
+         (Edge_set.cardinal (Dyn_seq.removals seq r))
+         (Graph.is_connected g))
+  done;
+  Buffer.contents buf

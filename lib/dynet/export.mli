@@ -1,0 +1,9 @@
+(** Exports for external tooling: Graphviz DOT for snapshots and CSV
+    for dynamic sequences (one row per round with size/delta columns —
+    handy for plotting churn profiles). *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** An undirected Graphviz graph; node ids as labels. *)
+
+val seq_to_csv : Dyn_seq.t -> string
+(** Columns: [round,edges,insertions,removals,connected]. *)

@@ -1,0 +1,144 @@
+type t = {
+  n : int;
+  edges : Edge_set.t;
+  adj : Node_id.t array array;
+}
+
+let build_adjacency n edges =
+  let deg = Array.make n 0 in
+  let bump v = deg.(v) <- deg.(v) + 1 in
+  Edge_set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      if v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph.make: edge endpoint %d out of range (n=%d)" v
+             n);
+      bump u;
+      bump v)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let next = Array.make n 0 in
+  (* Edge_set iterates in increasing canonical order, so each adjacency
+     array ends up sorted without an extra pass. *)
+  Edge_set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      adj.(u).(next.(u)) <- v;
+      next.(u) <- next.(u) + 1)
+    edges;
+  Edge_set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      adj.(v).(next.(v)) <- u;
+      next.(v) <- next.(v) + 1)
+    edges;
+  Array.iter (fun row -> Array.sort Node_id.compare row) adj;
+  adj
+
+let make ~n edges =
+  if n < 0 then invalid_arg "Graph.make: negative n";
+  { n; edges; adj = build_adjacency n edges }
+
+let empty ~n = make ~n Edge_set.empty
+let n t = t.n
+let edges t = t.edges
+let edge_count t = Edge_set.cardinal t.edges
+let mem_edge t u v = u <> v && Edge_set.mem_pair u v t.edges
+let neighbors t v = t.adj.(v)
+let degree t v = Array.length t.adj.(v)
+
+let max_degree t =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+
+let fold_nodes f t acc =
+  let rec loop v acc = if v >= t.n then acc else loop (v + 1) (f v acc) in
+  loop 0 acc
+
+let iter_edges f t = Edge_set.iter f t.edges
+
+let bfs t root =
+  let dist = Array.make t.n max_int in
+  let parent = Array.make t.n None in
+  let order = ref [] in
+  let q = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order := (v, dist.(v)) :: !order;
+    Array.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          parent.(w) <- Some v;
+          Queue.add w q
+        end)
+      t.adj.(v)
+  done;
+  (List.rev !order, parent, dist)
+
+let bfs_order t root =
+  let order, _, _ = bfs t root in
+  order
+
+let bfs_tree t root =
+  let _, parent, _ = bfs t root in
+  parent
+
+let distances t root =
+  let _, _, dist = bfs t root in
+  dist
+
+let components t =
+  let uf = Union_find.create t.n in
+  Edge_set.iter
+    (fun e ->
+      let u, v = Edge.endpoints e in
+      ignore (Union_find.union uf u v))
+    t.edges;
+  uf
+
+let component_count t = Union_find.count (components t)
+let is_connected t = t.n <= 1 || component_count t = 1
+
+let eccentricity t v =
+  if not (is_connected t) then
+    invalid_arg "Graph.eccentricity: disconnected graph";
+  Array.fold_left max 0 (distances t v)
+
+let diameter t =
+  if not (is_connected t) then invalid_arg "Graph.diameter: disconnected graph";
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (eccentricity t v)
+  done;
+  !best
+
+let spanning_forest t =
+  let uf = Union_find.create t.n in
+  Edge_set.fold
+    (fun e acc ->
+      let u, v = Edge.endpoints e in
+      if Union_find.union uf u v then Edge_set.add e acc else acc)
+    t.edges Edge_set.empty
+
+let connect_components t =
+  let uf = components t in
+  match Union_find.representatives uf with
+  | [] | [ _ ] -> Edge_set.empty
+  | first :: rest ->
+      let extra, _ =
+        List.fold_left
+          (fun (acc, prev) rep -> (Edge_set.add_pair prev rep acc, rep))
+          (Edge_set.empty, first) rest
+      in
+      extra
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: node counts differ";
+  make ~n:a.n (Edge_set.union a.edges b.edges)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@ %a@]" t.n (edge_count t)
+    Edge_set.pp t.edges

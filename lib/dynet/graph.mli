@@ -1,0 +1,78 @@
+(** Immutable snapshot of a single round's communication graph [G_r].
+
+    A graph is a simple undirected graph over the fixed node set
+    [{0, ..., n-1}].  Construction validates that all endpoints are in
+    range; adjacency is precomputed so that [neighbors] — the hot call
+    of the simulation engines — is O(1).
+
+    The dynamic network model requires every [G_r] (r ≥ 1) to be
+    connected; {!is_connected} is the check the adversaries and the
+    test-suite use to enforce it. *)
+
+type t
+
+val make : n:int -> Edge_set.t -> t
+(** [make ~n edges] builds the snapshot.
+    @raise Invalid_argument if [n < 0] or an endpoint is ≥ [n]. *)
+
+val empty : n:int -> t
+(** The empty graph [(V, ∅)] — the paper's [G_0]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val edges : t -> Edge_set.t
+val edge_count : t -> int
+val mem_edge : t -> Node_id.t -> Node_id.t -> bool
+
+val neighbors : t -> Node_id.t -> Node_id.t array
+(** Neighbors in increasing order.  The returned array is owned by the
+    graph: callers must not mutate it. *)
+
+val degree : t -> Node_id.t -> int
+val max_degree : t -> int
+
+val fold_nodes : (Node_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_edges : (Edge.t -> unit) -> t -> unit
+
+val bfs_order : t -> Node_id.t -> (Node_id.t * int) list
+(** [(node, dist)] pairs reachable from the root, in BFS order
+    (root first, distance 0). *)
+
+val bfs_tree : t -> Node_id.t -> Node_id.t option array
+(** Parent pointers of a BFS tree rooted at the given node; [None] for
+    the root and for unreachable nodes. *)
+
+val distances : t -> Node_id.t -> int array
+(** Single-source shortest-path distances; [max_int] if unreachable. *)
+
+val components : t -> Union_find.t
+(** Union-find structure of the graph's connected components. *)
+
+val component_count : t -> int
+val is_connected : t -> bool
+(** [true] iff the graph has exactly one connected component.  The
+    empty node set and the single node are connected. *)
+
+val eccentricity : t -> Node_id.t -> int
+(** Max finite distance from the node.
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val diameter : t -> int
+(** Exact diameter (max over all BFS roots).
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val spanning_forest : t -> Edge_set.t
+(** Edges of an arbitrary spanning forest (spanning tree per
+    component). *)
+
+val connect_components : t -> Edge_set.t
+(** A minimal set of extra edges ([component_count - 1] of them,
+    chaining component representatives) whose addition makes the graph
+    connected.  Empty if already connected. *)
+
+val union : t -> t -> t
+(** Edge-union of two graphs on the same node set.
+    @raise Invalid_argument if node counts differ. *)
+
+val pp : Format.formatter -> t -> unit

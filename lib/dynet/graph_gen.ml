@@ -1,0 +1,161 @@
+let path ~n =
+  let edges = ref Edge_set.empty in
+  for i = 0 to n - 2 do
+    edges := Edge_set.add_pair i (i + 1) !edges
+  done;
+  Graph.make ~n !edges
+
+let cycle ~n =
+  if n < 3 then path ~n
+  else begin
+    let edges = ref Edge_set.empty in
+    for i = 0 to n - 2 do
+      edges := Edge_set.add_pair i (i + 1) !edges
+    done;
+    edges := Edge_set.add_pair (n - 1) 0 !edges;
+    Graph.make ~n !edges
+  end
+
+let star ~n =
+  let edges = ref Edge_set.empty in
+  for i = 1 to n - 1 do
+    edges := Edge_set.add_pair 0 i !edges
+  done;
+  Graph.make ~n !edges
+
+let clique ~n =
+  let edges = ref Edge_set.empty in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := Edge_set.add_pair i j !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let clique_edges lo hi acc =
+  let acc = ref acc in
+  for i = lo to hi do
+    for j = i + 1 to hi do
+      acc := Edge_set.add_pair i j !acc
+    done
+  done;
+  !acc
+
+let barbell ~n =
+  if n < 2 then path ~n
+  else begin
+    let half = n / 2 in
+    let edges = clique_edges 0 (half - 1) Edge_set.empty in
+    let edges = clique_edges half (n - 1) edges in
+    let edges = Edge_set.add_pair (half - 1) half edges in
+    Graph.make ~n edges
+  end
+
+let lollipop ~n =
+  if n < 2 then path ~n
+  else begin
+    let head = (n + 1) / 2 in
+    let edges = clique_edges 0 (head - 1) Edge_set.empty in
+    let edges = ref edges in
+    for i = head - 1 to n - 2 do
+      edges := Edge_set.add_pair i (i + 1) !edges
+    done;
+    Graph.make ~n !edges
+  end
+
+let grid ~n =
+  if n < 2 then path ~n
+  else begin
+    let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+    let edges = ref Edge_set.empty in
+    for v = 0 to n - 1 do
+      let r = v / cols and c = v mod cols in
+      if c + 1 < cols && v + 1 < n then
+        edges := Edge_set.add_pair v (v + 1) !edges;
+      if (r + 1) * cols + c < n then
+        edges := Edge_set.add_pair v (v + cols) !edges
+    done;
+    Graph.make ~n !edges
+  end
+
+let hypercube ~n =
+  if n < 2 then path ~n
+  else begin
+    let dim =
+      let rec loop d = if 1 lsl (d + 1) <= n then loop (d + 1) else d in
+      loop 0
+    in
+    let cube = 1 lsl dim in
+    let edges = ref Edge_set.empty in
+    for v = 0 to cube - 1 do
+      for b = 0 to dim - 1 do
+        let w = v lxor (1 lsl b) in
+        if w > v then edges := Edge_set.add_pair v w !edges
+      done
+    done;
+    for v = cube to n - 1 do
+      edges := Edge_set.add_pair v (v mod cube) !edges
+    done;
+    Graph.make ~n !edges
+  end
+
+let random_tree rng ~n =
+  if n <= 1 then Graph.empty ~n
+  else begin
+    let order = Rng.permutation rng n in
+    let edges = ref Edge_set.empty in
+    for i = 1 to n - 1 do
+      let attach_to = order.(Rng.int rng i) in
+      edges := Edge_set.add_pair order.(i) attach_to !edges
+    done;
+    Graph.make ~n !edges
+  end
+
+let random_connected rng ~n ~p =
+  let edges = ref (Graph.edges (random_tree rng ~n)) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := Edge_set.add_pair i j !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let random_regularish rng ~n ~d =
+  if n <= 2 then path ~n
+  else begin
+    let edges = ref (Graph.edges (cycle ~n)) in
+    (* Renumber a random Hamiltonian cycle instead of the canonical one,
+       then overlay matching batches built from random permutations. *)
+    let perm = Rng.permutation rng n in
+    let cyc = ref Edge_set.empty in
+    for i = 0 to n - 1 do
+      cyc := Edge_set.add_pair perm.(i) perm.((i + 1) mod n) !cyc
+    done;
+    edges := !cyc;
+    let batches = max 0 ((d - 2 + 1) / 2) in
+    for _ = 1 to batches do
+      let m = Rng.permutation rng n in
+      let i = ref 0 in
+      while !i + 1 < n do
+        if m.(!i) <> m.(!i + 1) then
+          edges := Edge_set.add_pair m.(!i) m.(!i + 1) !edges;
+        i := !i + 2
+      done
+    done;
+    Graph.make ~n !edges
+  end
+
+let all_named =
+  [
+    ("path", fun (_ : Rng.t) ~n -> path ~n);
+    ("cycle", fun (_ : Rng.t) ~n -> cycle ~n);
+    ("star", fun (_ : Rng.t) ~n -> star ~n);
+    ("clique", fun (_ : Rng.t) ~n -> clique ~n);
+    ("barbell", fun (_ : Rng.t) ~n -> barbell ~n);
+    ("lollipop", fun (_ : Rng.t) ~n -> lollipop ~n);
+    ("grid", fun (_ : Rng.t) ~n -> grid ~n);
+    ("hypercube", fun (_ : Rng.t) ~n -> hypercube ~n);
+    ("random-tree", fun rng ~n -> random_tree rng ~n);
+    ("random-connected", fun rng ~n -> random_connected rng ~n ~p:0.1);
+    ("random-regularish", fun rng ~n -> random_regularish rng ~n ~d:4);
+  ]

@@ -1,0 +1,86 @@
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+let degree_stats g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Graph_metrics.degree_stats: empty node set";
+  let mn = ref max_int and mx = ref 0 and total = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    if d < !mn then mn := d;
+    if d > !mx then mx := d;
+    total := !total + d
+  done;
+  {
+    min_degree = !mn;
+    max_degree = !mx;
+    mean_degree = float_of_int !total /. float_of_int n;
+  }
+
+let clustering_coefficient g =
+  let n = Graph.n g in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for v = 0 to n - 1 do
+      let neighbors = Graph.neighbors g v in
+      let d = Array.length neighbors in
+      if d >= 2 then begin
+        let links = ref 0 in
+        for i = 0 to d - 1 do
+          for j = i + 1 to d - 1 do
+            if Graph.mem_edge g neighbors.(i) neighbors.(j) then incr links
+          done
+        done;
+        total := !total +. (2. *. float_of_int !links /. float_of_int (d * (d - 1)))
+      end
+    done;
+    !total /. float_of_int n
+  end
+
+let mean_distance g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Graph_metrics.mean_distance: need n >= 2";
+  if not (Graph.is_connected g) then
+    invalid_arg "Graph_metrics.mean_distance: disconnected graph";
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    Array.iter (fun d -> total := !total + d) (Graph.distances g v)
+  done;
+  float_of_int !total /. float_of_int (n * (n - 1))
+
+type churn_stats = {
+  rounds : int;
+  tc : int;
+  removals : int;
+  mean_edges : float;
+  insertions_per_round : float;
+  turnover : float;
+}
+
+let churn_stats seq =
+  let rounds = Dyn_seq.length seq in
+  let tc = Dyn_seq.tc seq in
+  let removals = Dyn_seq.total_removals seq in
+  let total_edges = ref 0 in
+  for r = 1 to rounds do
+    total_edges := !total_edges + Graph.edge_count (Dyn_seq.get seq r)
+  done;
+  let mean_edges = float_of_int !total_edges /. float_of_int (max 1 rounds) in
+  (* The first round inserts the whole graph; exclude it so a static
+     schedule reads as zero turnover. *)
+  let steady_insertions =
+    float_of_int (tc - Graph.edge_count (Dyn_seq.get seq 1))
+    /. float_of_int (max 1 (rounds - 1))
+  in
+  {
+    rounds;
+    tc;
+    removals;
+    mean_edges;
+    insertions_per_round = steady_insertions;
+    turnover = (if mean_edges > 0. then steady_insertions /. mean_edges else 0.);
+  }

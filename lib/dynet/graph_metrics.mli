@@ -1,0 +1,36 @@
+(** Structural metrics of graph snapshots and dynamic sequences.
+
+    Used to characterize the oblivious adversary families (the
+    environment table in the analysis layer): how dense, how clustered,
+    how far apart, and how churny each environment actually is — the
+    context needed to read the protocol measurements. *)
+
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+}
+
+val degree_stats : Graph.t -> degree_stats
+(** @raise Invalid_argument on the empty node set. *)
+
+val clustering_coefficient : Graph.t -> float
+(** Mean local clustering coefficient (nodes of degree < 2 contribute
+    0); 1.0 on a clique, 0.0 on any triangle-free graph. *)
+
+val mean_distance : Graph.t -> float
+(** Average shortest-path distance over all ordered pairs.
+    @raise Invalid_argument if disconnected or [n < 2]. *)
+
+type churn_stats = {
+  rounds : int;
+  tc : int;  (** Total insertions, [TC(E)]. *)
+  removals : int;
+  mean_edges : float;
+  insertions_per_round : float;
+  turnover : float;
+      (** Insertions per round divided by mean edge count: 0 = static,
+          ~1 = the whole graph replaced every round. *)
+}
+
+val churn_stats : Dyn_seq.t -> churn_stats

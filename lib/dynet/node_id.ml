@@ -1,0 +1,15 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash (v : t) = v
+let pp ppf v = Format.fprintf ppf "v%d" v
+let to_int (v : t) = v
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative identifier" else i
+
+let all ~n = List.init n (fun i -> i)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,37 @@
+(** Dense integer node identifiers.
+
+    Nodes of an [n]-node network are identified by the integers
+    [0 .. n-1].  Using dense identifiers lets the simulation engine and
+    the algorithms index per-node state with plain arrays, which is the
+    dominant access pattern in a synchronous round simulator.
+
+    The paper assumes each node has a unique [O(log n)]-bit identifier;
+    dense integers satisfy that assumption.  Where the paper orders
+    source nodes ([a_1 < a_2 < ... < a_s], Section 3.2), the order used
+    is the natural integer order exposed by {!compare}. *)
+
+type t = int
+(** A node identifier.  Valid identifiers are non-negative; a network of
+    [n] nodes uses exactly [0 .. n-1]. *)
+
+val compare : t -> t -> int
+(** Total order on identifiers (natural integer order). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [v<id>], e.g. [v17]. *)
+
+val to_int : t -> int
+
+val of_int : int -> t
+(** [of_int i] validates [i >= 0].
+    @raise Invalid_argument on negative input. *)
+
+val all : n:int -> t list
+(** [all ~n] is the list [[0; 1; ...; n-1]]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,45 @@
+(** Deterministic, splittable randomness for reproducible experiments.
+
+    Every randomized component of the reproduction — graph generators,
+    oblivious adversaries (which must commit to their whole topology
+    sequence up front), center self-election and random walks of
+    Algorithm 2, and the [K'_v] sampling of the Section-2 lower-bound
+    adversary — draws from an explicit [Rng.t].  Runs are therefore
+    exactly reproducible from a seed, which the test-suite relies on.
+
+    Splitting derives an independent child stream; the oblivious
+    adversary splits once per round so that changing how many random
+    bits one round consumes cannot perturb later rounds. *)
+
+type t
+
+val make : seed:int -> t
+val split : t -> t
+(** A child generator independent of future draws from the parent. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [min 1 (max 0 p)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** A uniform permutation of [0 .. n-1]. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t m n] draws [m] distinct values from
+    [0 .. n-1], in increasing order.
+    @raise Invalid_argument if [m > n] or [m < 0]. *)

@@ -1,0 +1,44 @@
+type t = {
+  sigma : int;
+  n : int;
+  (* Edges currently present, mapped to the round index (1-based, counted
+     internally) at which their current run started. *)
+  mutable active : (Edge.t * int) list;
+  mutable round : int;
+}
+
+let create ~sigma ~n =
+  if sigma < 1 then invalid_arg "Stability.create: sigma must be >= 1";
+  if n < 0 then invalid_arg "Stability.create: negative n";
+  { sigma; n; active = []; round = 0 }
+
+let sigma t = t.sigma
+
+let step t proposal =
+  if Graph.n proposal <> t.n then
+    invalid_arg "Stability.step: node count mismatch";
+  t.round <- t.round + 1;
+  let proposed = Graph.edges proposal in
+  (* Keep an active edge if it is still proposed (its run continues) or
+     if it is too young to drop. *)
+  let kept =
+    List.filter
+      (fun (e, born) ->
+        Edge_set.mem e proposed || t.round - born < t.sigma)
+      t.active
+  in
+  let kept_edges =
+    List.fold_left (fun acc (e, _) -> Edge_set.add e acc) Edge_set.empty kept
+  in
+  let inserted = Edge_set.diff proposed kept_edges in
+  let active =
+    Edge_set.fold (fun e acc -> (e, t.round) :: acc) inserted kept
+  in
+  t.active <- active;
+  Graph.make ~n:t.n (Edge_set.union proposed kept_edges)
+
+let transform ~sigma = function
+  | [] -> []
+  | g :: _ as gs ->
+      let t = create ~sigma ~n:(Graph.n g) in
+      List.map (step t) gs

@@ -1,0 +1,28 @@
+(** σ-edge-stability enforcement.
+
+    Theorems 3.4 and 3.6 of the paper assume 3-edge-stable dynamic
+    graphs: once inserted, an edge stays for at least 3 consecutive
+    rounds.  This module turns any stream of proposed round graphs into
+    a σ-stable stream by holding down young edges: an edge inserted at
+    round [r] is forced to remain present through round [r + σ - 1],
+    whatever the proposal says.
+
+    Holding edges down only ever {e adds} edges to a proposal, so
+    connectivity of each round is preserved, and the resulting recorded
+    sequence satisfies {!Dyn_seq.is_sigma_stable}. *)
+
+type t
+
+val create : sigma:int -> n:int -> t
+(** @raise Invalid_argument if [sigma < 1] or [n < 0]. *)
+
+val sigma : t -> int
+
+val step : t -> Graph.t -> Graph.t
+(** [step t proposal] is the actual graph for the next round: the
+    proposal plus all held-down edges.  Updates internal ages.
+    @raise Invalid_argument if the proposal's node count differs from
+    [n]. *)
+
+val transform : sigma:int -> Graph.t list -> Graph.t list
+(** Whole-sequence convenience wrapper around {!step}. *)

@@ -1,0 +1,62 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable components : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; components = n }
+
+let n t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ka = t.rank.(ra) and kb = t.rank.(rb) in
+    if ka < kb then t.parent.(ra) <- rb
+    else if kb < ka then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- ka + 1
+    end;
+    t.components <- t.components - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+let count t = t.components
+
+let representatives t =
+  let acc = ref [] in
+  for i = Array.length t.parent - 1 downto 0 do
+    if find t i = i then acc := i :: !acc
+  done;
+  !acc
+
+let components t =
+  let size = Array.length t.parent in
+  let buckets = Hashtbl.create 16 in
+  for i = size - 1 downto 0 do
+    let r = find t i in
+    let old = try Hashtbl.find buckets r with Not_found -> [] in
+    Hashtbl.replace buckets r (i :: old)
+  done;
+  representatives t |> List.map (fun r -> Hashtbl.find buckets r)
+
+let copy t =
+  {
+    parent = Array.copy t.parent;
+    rank = Array.copy t.rank;
+    components = t.components;
+  }

@@ -1,0 +1,37 @@
+(** Disjoint-set forest (union–find) over dense node identifiers.
+
+    Used wherever the reproduction needs connected components fast:
+    the strongly adaptive lower-bound adversary of Section 2 must, every
+    round, compute the components of the graph induced by the free edges
+    (Lemma 2.1/2.2) and then connect them with the minimum number of
+    non-free edges.  Path compression + union by rank give effectively
+    constant-time operations. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton components [{0} ... {n-1}]. *)
+
+val n : t -> int
+(** Number of elements (not components). *)
+
+val find : t -> Node_id.t -> Node_id.t
+(** Canonical representative of the element's component. *)
+
+val union : t -> Node_id.t -> Node_id.t -> bool
+(** Merge the two components; returns [true] iff they were distinct
+    (i.e. the union reduced the component count). *)
+
+val same : t -> Node_id.t -> Node_id.t -> bool
+
+val count : t -> int
+(** Current number of components. *)
+
+val representatives : t -> Node_id.t list
+(** One canonical representative per component, in increasing order. *)
+
+val components : t -> Node_id.t list list
+(** All components as lists of members; components ordered by their
+    representative, members in increasing order. *)
+
+val copy : t -> t

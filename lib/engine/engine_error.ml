@@ -1,0 +1,13 @@
+exception Protocol_violation of string
+exception Adversary_violation of string
+
+let check_graph ~round ~n g =
+  if Dynet.Graph.n g <> n then
+    raise
+      (Adversary_violation
+         (Printf.sprintf "round %d: graph has %d nodes, expected %d" round
+            (Dynet.Graph.n g) n));
+  if not (Dynet.Graph.is_connected g) then
+    raise
+      (Adversary_violation
+         (Printf.sprintf "round %d: disconnected graph" round))

@@ -1,0 +1,18 @@
+(** Failures raised by the simulation engines.
+
+    Both exceptions indicate a bug in the component named, never in the
+    engine itself; the test-suite asserts they are raised on
+    deliberately ill-behaved protocols/adversaries. *)
+
+exception Protocol_violation of string
+(** A protocol broke the communication model: sent to a non-neighbor,
+    or sent more than one token over a directed edge in one round
+    (Section 1.3's bandwidth constraint). *)
+
+exception Adversary_violation of string
+(** An adversary produced an invalid round graph: wrong node count or a
+    disconnected graph (the model requires every [G_r], r ≥ 1, to be
+    connected). *)
+
+val check_graph : round:int -> n:int -> Dynet.Graph.t -> unit
+(** Validates a round graph, raising {!Adversary_violation}. *)

@@ -1,0 +1,84 @@
+(** Communication-cost accounting for one execution.
+
+    Implements the cost model of Section 1.3:
+
+    - {e message complexity} (Definition 1.1): total messages sent; a
+      local broadcast counts as one message, unicast messages to
+      different neighbors count separately.  The engines record every
+      message here, tagged with its {!Msg_class.t}.
+    - {e topological changes} [TC(E) = Σ_r |E⁺_r|] and total edge
+      removals, updated from consecutive round graphs.
+    - {e token learnings} (Definition 1.4), updated from the protocols'
+      progress counters.
+    - the {e α-adversary-competitive} report (Definition 1.3): an
+      algorithm has α-competitive complexity [M] iff
+      [total ≤ M + α·TC(E)] on every execution; {!competitive_cost}
+      returns [total − α·TC(E)] so callers can compare it against a
+      candidate [M]. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val merge : t -> t -> t
+(** Sum of two ledgers (counts, rounds, TC, removals, learnings):
+    the accounting of an execution made of two consecutive phases
+    (e.g. Algorithm 2's random-walk phase followed by its
+    Multi-Source phase). *)
+
+val record : t -> Msg_class.t -> int -> unit
+(** [record t cls m] adds [m] messages of class [cls].
+    @raise Invalid_argument if [m < 0]. *)
+
+val record_sender : t -> Dynet.Node_id.t -> int -> unit
+(** Attribute [m] sent messages to a node, for the per-node load
+    report (the paper motivates message complexity by per-node energy;
+    this exposes the distribution behind the total). *)
+
+val sender_load : t -> Dynet.Node_id.t -> int
+(** Messages attributed to the node so far (0 if none). *)
+
+val max_load : t -> int
+(** The busiest node's message count. *)
+
+val mean_load : t -> float
+(** Total attributed messages divided by the number of nodes that ever
+    sent (0 if none sent). *)
+
+val count : t -> Msg_class.t -> int
+val total : t -> int
+(** Sum over all classes. *)
+
+val total_excluding : t -> Msg_class.t list -> int
+(** Total without the given classes (e.g. excluding [Center]
+    announcements to match the paper's accounting of Algorithm 2). *)
+
+val note_round : t -> unit
+val rounds : t -> int
+
+val note_graph_change : t -> prev:Dynet.Graph.t -> cur:Dynet.Graph.t -> unit
+(** Accumulates [|E⁺|] into {!tc} and [|E⁻|] into {!removals}. *)
+
+val tc : t -> int
+val removals : t -> int
+
+val note_progress : t -> int -> unit
+(** Record the current global progress (sum over nodes of tokens
+    known); learnings are computed as the increase over the initial
+    progress. *)
+
+val learnings : t -> int
+
+val competitive_cost : t -> alpha:float -> float
+(** [total − α·TC(E)] (may be negative if the adversary churned more
+    than the algorithm talked). *)
+
+val amortized : t -> k:int -> float
+(** [total / k]: average messages per disseminated token.
+    @raise Invalid_argument if [k <= 0]. *)
+
+val amortized_competitive : t -> alpha:float -> k:int -> float
+(** [(total − α·TC)/k]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = Token | Completeness | Request | Walk | Center | Control
+
+let all = [ Token; Completeness; Request; Walk; Center; Control ]
+let count = List.length all
+
+let index = function
+  | Token -> 0
+  | Completeness -> 1
+  | Request -> 2
+  | Walk -> 3
+  | Center -> 4
+  | Control -> 5
+
+let of_index = function
+  | 0 -> Token
+  | 1 -> Completeness
+  | 2 -> Request
+  | 3 -> Walk
+  | 4 -> Center
+  | 5 -> Control
+  | i -> invalid_arg (Printf.sprintf "Msg_class.of_index: %d" i)
+
+let to_string = function
+  | Token -> "token"
+  | Completeness -> "completeness"
+  | Request -> "request"
+  | Walk -> "walk"
+  | Center -> "center"
+  | Control -> "control"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = index a = index b

@@ -1,0 +1,27 @@
+(** Message categories for cost accounting.
+
+    The analyses in the paper bound each kind of message separately:
+    Theorem 3.1 counts (1) token messages, (2) completeness
+    announcements and (3) token requests; Algorithm 2 additionally moves
+    tokens along random walks and needs center identities.  The ledger
+    keeps one counter per category so every per-type bound in the paper
+    can be checked individually. *)
+
+type t =
+  | Token  (** A token payload (type 1 in Theorem 3.1's proof). *)
+  | Completeness  (** Completeness announcement (type 2). *)
+  | Request  (** Token request (type 3). *)
+  | Walk  (** A token taking a random-walk step (Algorithm 2 phase 1). *)
+  | Center
+      (** Center identity announcement (Algorithm 2; not charged by the
+          paper — bounded by [TC] under the adversary-competitive
+          measure, reported separately here). *)
+  | Control  (** Anything else (setup, baselines' tree construction). *)
+
+val all : t list
+val count : int
+val index : t -> int
+val of_index : int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

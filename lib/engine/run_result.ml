@@ -1,0 +1,16 @@
+type t = {
+  rounds : int;
+  completed : bool;
+  ledger : Ledger.t;
+  timeline : (int * int * int) list;
+}
+
+let make ~rounds ~completed ~ledger ~timeline =
+  { rounds; completed; ledger; timeline }
+
+let messages t = Ledger.total t.ledger
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s after %d rounds@ %a@]"
+    (if t.completed then "completed" else "HIT ROUND CAP")
+    t.rounds Ledger.pp t.ledger

@@ -1,0 +1,21 @@
+(** Outcome of one simulated execution. *)
+
+type t = {
+  rounds : int;  (** Rounds actually executed. *)
+  completed : bool;
+      (** Whether the stop predicate fired before the round cap. *)
+  ledger : Ledger.t;  (** Full communication-cost accounting. *)
+  timeline : (int * int * int) list;
+      (** Per-round samples [(round, cumulative messages, cumulative
+          progress)] in round order; used for learning-curve plots and
+          the potential-growth experiments. *)
+}
+
+val make :
+  rounds:int -> completed:bool -> ledger:Ledger.t ->
+  timeline:(int * int * int) list -> t
+
+val messages : t -> int
+(** Shorthand for [Ledger.total t.ledger]. *)
+
+val pp : Format.formatter -> t -> unit

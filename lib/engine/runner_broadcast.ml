@@ -1,0 +1,78 @@
+module type PROTOCOL = sig
+  type state
+  type msg
+
+  val classify : msg -> Msg_class.t
+  val intent : state -> round:int -> state * msg option
+
+  val receive :
+    state -> round:int -> inbox:(Dynet.Node_id.t * msg) list -> state
+
+  val progress : state -> int
+end
+
+type ('state, 'msg) adversary =
+  round:int ->
+  prev:Dynet.Graph.t ->
+  states:'state array ->
+  intents:'msg option array ->
+  Dynet.Graph.t
+
+let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
+    ?init_prev ~(states : s array) ~(adversary : (s, m) adversary) ~max_rounds
+    ~stop () =
+  let n = Array.length states in
+  let ledger = Ledger.create () in
+  let timeline = ref [] in
+  let sum_progress () =
+    Array.fold_left (fun acc st -> acc + P.progress st) 0 states
+  in
+  Ledger.note_progress ledger (sum_progress ());
+  let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
+  let completed = ref (stop states) in
+  let round = ref 0 in
+  while (not !completed) && !round < max_rounds do
+    incr round;
+    let r = !round in
+    let intents =
+      Array.map
+        (fun _ -> (None : m option))
+        states
+    in
+    for v = 0 to n - 1 do
+      let st, m = P.intent states.(v) ~round:r in
+      states.(v) <- st;
+      intents.(v) <- m
+    done;
+    let g = adversary ~round:r ~prev:!prev ~states ~intents in
+    Engine_error.check_graph ~round:r ~n g;
+    Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+    Ledger.note_round ledger;
+    Array.iteri
+      (fun v intent ->
+        match intent with
+        | None -> ()
+        | Some m ->
+            Ledger.record ledger (P.classify m) 1;
+            Ledger.record_sender ledger v 1)
+      intents;
+    let inboxes =
+      Array.init n (fun v ->
+          Dynet.Graph.neighbors g v |> Array.to_list
+          |> List.filter_map (fun u ->
+                 match intents.(u) with
+                 | None -> None
+                 | Some m -> Some (u, m)))
+    in
+    for v = 0 to n - 1 do
+      states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
+    done;
+    Ledger.note_progress ledger (sum_progress ());
+    timeline :=
+      (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
+    prev := g;
+    completed := stop states
+  done;
+  ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
+      ~timeline:(List.rev !timeline),
+    states )

@@ -1,0 +1,56 @@
+(** Synchronous local-broadcast engine.
+
+    Models the paper's local-broadcast communication (Section 1.3):
+    each round, every node chooses at most one message to broadcast
+    {e before} knowing that round's topology; the adversary — which in
+    the strongly adaptive case sees all node states and the chosen
+    broadcasts, exactly the power used by the Section-2 lower bound —
+    then fixes the round graph; every broadcast is delivered to all the
+    sender's neighbors and counts as {e one} message regardless of the
+    neighbor count.  A node learns (a subset of) its neighbors only
+    from the messages it receives: silent neighbors stay invisible. *)
+
+module type PROTOCOL = sig
+  type state
+  type msg
+
+  val classify : msg -> Msg_class.t
+
+  val intent : state -> round:int -> state * msg option
+  (** The node's broadcast decision for the round, made topology-blind.
+      [None] means the node stays silent (costs nothing). *)
+
+  val receive :
+    state -> round:int -> inbox:(Dynet.Node_id.t * msg) list -> state
+  (** End-of-round delivery: one entry per {e broadcasting} neighbor,
+      in increasing sender order. *)
+
+  val progress : state -> int
+  (** Number of tokens this node currently knows (drives the
+      token-learning accounting of Definition 1.4). *)
+end
+
+type ('state, 'msg) adversary =
+  round:int ->
+  prev:Dynet.Graph.t ->
+  states:'state array ->
+  intents:'msg option array ->
+  Dynet.Graph.t
+(** A strongly adaptive adversary sees everything, including the
+    current round's announced broadcasts; oblivious adversaries simply
+    ignore [states] and [intents]. *)
+
+val run :
+  (module PROTOCOL with type state = 's and type msg = 'm) ->
+  ?init_prev:Dynet.Graph.t ->
+  states:'s array ->
+  adversary:('s, 'm) adversary ->
+  max_rounds:int ->
+  stop:('s array -> bool) ->
+  unit ->
+  Run_result.t * 's array
+(** Runs until [stop] holds (checked after each round, and once before
+    round 1 for already-solved instances) or [max_rounds] is reached.
+    [init_prev] (default: the empty graph [G_0]) seeds the
+    topological-change accounting when chaining runs.
+    @raise Engine_error.Adversary_violation on invalid round graphs. *)

@@ -1,0 +1,115 @@
+module type PROTOCOL = sig
+  type state
+  type msg
+
+  val classify : msg -> Msg_class.t
+
+  val send :
+    state ->
+    round:int ->
+    neighbors:Dynet.Node_id.t array ->
+    state * (Dynet.Node_id.t * msg) list
+
+  val receive :
+    state ->
+    round:int ->
+    neighbors:Dynet.Node_id.t array ->
+    inbox:(Dynet.Node_id.t * msg) list ->
+    state
+
+  val progress : state -> int
+end
+
+type traffic = (Dynet.Node_id.t * Dynet.Node_id.t * Msg_class.t) list
+
+type 'state adversary =
+  round:int ->
+  prev:Dynet.Graph.t ->
+  states:'state array ->
+  traffic:traffic ->
+  Dynet.Graph.t
+
+let mem_sorted arr x =
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare x arr.(mid) in
+      if c = 0 then true else if c < 0 then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length arr)
+
+let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
+    ?init_prev ~(states : s array) ~(adversary : s adversary) ~max_rounds ~stop
+    () =
+  let n = Array.length states in
+  let ledger = Ledger.create () in
+  let timeline = ref [] in
+  let sum_progress () =
+    Array.fold_left (fun acc st -> acc + P.progress st) 0 states
+  in
+  Ledger.note_progress ledger (sum_progress ());
+  let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
+  let traffic = ref ([] : traffic) in
+  let completed = ref (stop states) in
+  let round = ref 0 in
+  while (not !completed) && !round < max_rounds do
+    incr round;
+    let r = !round in
+    let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
+    Engine_error.check_graph ~round:r ~n g;
+    Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+    Ledger.note_round ledger;
+    let inboxes = Array.make n [] in
+    let round_traffic = ref [] in
+    let token_sent = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      let neighbors = Dynet.Graph.neighbors g v in
+      let st, out = P.send states.(v) ~round:r ~neighbors in
+      states.(v) <- st;
+      List.iter
+        (fun (dst, m) ->
+          if not (mem_sorted neighbors dst) then
+            raise
+              (Engine_error.Protocol_violation
+                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
+                    v dst));
+          let cls = P.classify m in
+          (match cls with
+          | Msg_class.Token | Msg_class.Walk ->
+              if Hashtbl.mem token_sent (v, dst) then
+                raise
+                  (Engine_error.Protocol_violation
+                     (Printf.sprintf
+                        "round %d: node %d sent two tokens to %d in one round"
+                        r v dst));
+              Hashtbl.replace token_sent (v, dst) ()
+          | Msg_class.Completeness | Msg_class.Request | Msg_class.Center
+          | Msg_class.Control ->
+              ());
+          Ledger.record ledger cls 1;
+          Ledger.record_sender ledger v 1;
+          round_traffic := (v, dst, cls) :: !round_traffic;
+          (* Collect in reverse, fix sender order below. *)
+          inboxes.(dst) <- (v, m) :: inboxes.(dst))
+        out
+    done;
+    for v = 0 to n - 1 do
+      let inbox =
+        List.stable_sort (fun (a, _) (b, _) -> Dynet.Node_id.compare a b)
+          (List.rev inboxes.(v))
+      in
+      states.(v) <-
+        P.receive states.(v) ~round:r ~neighbors:(Dynet.Graph.neighbors g v)
+          ~inbox
+    done;
+    Ledger.note_progress ledger (sum_progress ());
+    timeline :=
+      (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
+    prev := g;
+    traffic := List.rev !round_traffic;
+    completed := stop states
+  done;
+  ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
+      ~timeline:(List.rev !timeline),
+    states )

@@ -1,0 +1,70 @@
+(** Synchronous unicast engine.
+
+    Models the paper's unicast communication (Section 1.3): at the
+    beginning of round [r] the adversary fixes the connected round
+    graph [G_r]; each node is then informed of the IDs of its round-[r]
+    neighbors (the KT1-style assumption the paper makes for unicast)
+    and may send a different message to each of them.  Every message to
+    a distinct neighbor counts separately.
+
+    The engine enforces the bandwidth constraint that at most one
+    {!Msg_class.Token}-class message crosses a directed edge per round
+    ("one token can go through an edge per round"); control traffic
+    (announcements, requests) may share the edge, as the model allows a
+    constant number of tokens plus O(log n) bits per message. *)
+
+module type PROTOCOL = sig
+  type state
+  type msg
+
+  val classify : msg -> Msg_class.t
+
+  val send :
+    state ->
+    round:int ->
+    neighbors:Dynet.Node_id.t array ->
+    state * (Dynet.Node_id.t * msg) list
+  (** The node's messages for the round, decided after seeing its
+      neighbor IDs.  The returned state lets protocols record what they
+      sent (e.g. pending requests in Algorithm 1). *)
+
+  val receive :
+    state ->
+    round:int ->
+    neighbors:Dynet.Node_id.t array ->
+    inbox:(Dynet.Node_id.t * msg) list ->
+    state
+  (** End-of-round delivery; inbox entries in increasing sender order
+      (sender order within one sender preserved). *)
+
+  val progress : state -> int
+end
+
+type traffic = (Dynet.Node_id.t * Dynet.Node_id.t * Msg_class.t) list
+(** Last round's [(src, dst, class)] sends — what an adaptive adversary
+    observed on the wire (e.g. {!Adversary.Request_cutter} deletes the
+    edges that carried requests). *)
+
+type 'state adversary =
+  round:int ->
+  prev:Dynet.Graph.t ->
+  states:'state array ->
+  traffic:traffic ->
+  Dynet.Graph.t
+
+val run :
+  (module PROTOCOL with type state = 's and type msg = 'm) ->
+  ?init_prev:Dynet.Graph.t ->
+  states:'s array ->
+  adversary:'s adversary ->
+  max_rounds:int ->
+  stop:('s array -> bool) ->
+  unit ->
+  Run_result.t * 's array
+(** [init_prev] (default: the empty graph [G_0]) seeds the
+    topological-change accounting — pass the previous phase's last
+    graph when chaining runs so [TC] is not inflated by a phantom
+    re-insertion of every edge.
+    @raise Engine_error.Adversary_violation on invalid round graphs.
+    @raise Engine_error.Protocol_violation on sends to non-neighbors or
+    token-bandwidth violations. *)

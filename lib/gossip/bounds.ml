@@ -1,0 +1,89 @@
+let log2 x = log x /. log 2.
+let logn n = Float.max 1. (log2 (float_of_int n))
+
+let flooding_total ~n ~k = float_of_int n ** 2. *. float_of_int k
+let flooding_amortized ~n = float_of_int n ** 2.
+
+let lb_total ~n ~k =
+  float_of_int n ** 2. *. float_of_int k /. (logn n ** 2.)
+
+let lb_amortized ~n = float_of_int n ** 2. /. (logn n ** 2.)
+let lb_rounds ~n ~k = float_of_int n *. float_of_int k /. logn n
+
+let sparse_broadcaster_threshold ?(c = 1.) ~n () =
+  float_of_int n /. (c *. logn n)
+
+let single_source_budget ~n ~k =
+  (float_of_int n ** 2.) +. (float_of_int n *. float_of_int k)
+
+let multi_source_budget ~n ~k ~s =
+  (float_of_int n ** 2. *. float_of_int s)
+  +. (float_of_int n *. float_of_int k)
+
+let stable_rounds ~n ~k = float_of_int n *. float_of_int k
+
+let source_threshold ?(c = 1.) ~n () =
+  c *. (float_of_int n ** (2. /. 3.)) *. (logn n ** (5. /. 3.))
+
+let centers_f ?(c = 1.) ~n ~k () =
+  let raw =
+    c *. sqrt (float_of_int n) *. (float_of_int k ** 0.25)
+    *. (logn n ** 1.25)
+  in
+  Float.min (float_of_int n) (Float.max 1. raw)
+
+let degree_gamma ?(c = 1.) ~n ~f () = c *. float_of_int n *. logn n /. f
+
+let walk_length ?(c = 1.) ~n ~f () =
+  c *. (float_of_int n ** 4.) *. (logn n ** 5.) /. (f ** 3.)
+
+let rw_total ?(c = 1.) ~n ~k () =
+  c *. (float_of_int n ** 2.5) *. (float_of_int k ** 0.25)
+  *. (logn n ** 1.25)
+
+let rw_amortized ?(c = 1.) ~n ~k () =
+  c *. (float_of_int n ** 2.5) *. (logn n ** 1.25)
+  /. (float_of_int k ** 0.75)
+
+type table1_row = {
+  label : string;
+  k_of_n : n:int -> int;
+  amortized_of_n : n:int -> float;
+  paper_bound : string;
+}
+
+let table1 =
+  [
+    {
+      label = "k = n^(2/3) log^(5/3) n";
+      k_of_n =
+        (fun ~n ->
+          let k =
+            int_of_float
+              ((float_of_int n ** (2. /. 3.)) *. (logn n ** (5. /. 3.)))
+          in
+          max 1 (min k ((n * n) - 1)));
+      amortized_of_n = (fun ~n -> float_of_int n ** 2.);
+      paper_bound = "O(n^2)";
+    };
+    {
+      label = "k = n";
+      k_of_n = (fun ~n -> n);
+      amortized_of_n =
+        (fun ~n -> (float_of_int n ** 1.75) *. (logn n ** 1.25));
+      paper_bound = "O(n^(7/4) log^(5/4) n)";
+    };
+    {
+      label = "k = n^(3/2)";
+      k_of_n = (fun ~n -> int_of_float (float_of_int n ** 1.5));
+      amortized_of_n =
+        (fun ~n -> (float_of_int n ** 1.375) *. (logn n ** 1.25));
+      paper_bound = "O(n^(11/8) log^(5/4) n)";
+    };
+    {
+      label = "k -> n^2 (k = o(n^2))";
+      k_of_n = (fun ~n -> max 1 ((n * n / 2) - 1));
+      amortized_of_n = (fun ~n -> float_of_int n *. (logn n ** 1.25));
+      paper_bound = "O(n log^(5/4) n)";
+    };
+  ]

@@ -1,0 +1,82 @@
+(** Closed-form bounds from the paper, for side-by-side reporting.
+
+    Logarithms are base 2 throughout (the constant factor is absorbed
+    by the tunable leading constants; only the {e shape} matters for
+    the reproduction).  All functions clamp the log terms below at 1 so
+    small [n] stay finite. *)
+
+val log2 : float -> float
+
+val logn : int -> float
+(** [max 1 (log₂ n)]. *)
+
+(* {2 Section 2 — local broadcast} *)
+
+val flooding_total : n:int -> k:int -> float
+(** Naive-flooding upper bound [n²k]. *)
+
+val flooding_amortized : n:int -> float
+(** [n²]. *)
+
+val lb_total : n:int -> k:int -> float
+(** Theorem 2.3 lower bound [n²k / log²n]. *)
+
+val lb_amortized : n:int -> float
+(** [n² / log²n]. *)
+
+val lb_rounds : n:int -> k:int -> float
+(** The Ω(nk/log n) round bound of [26, 30]. *)
+
+val sparse_broadcaster_threshold : ?c:float -> n:int -> unit -> float
+(** Lemma 2.2's [n / (c·log n)]: with at most this many broadcasters,
+    the free edges form a single component (no progress possible).
+    Default [c = 1]. *)
+
+(* {2 Section 3 — unicast} *)
+
+val single_source_budget : n:int -> k:int -> float
+(** Theorem 3.1's 1-adversary-competitive budget [n² + nk]. *)
+
+val multi_source_budget : n:int -> k:int -> s:int -> float
+(** Theorem 3.5's [n²s + nk]. *)
+
+val stable_rounds : n:int -> k:int -> float
+(** Theorems 3.4/3.6's O(nk) round bound on 3-edge-stable graphs. *)
+
+(* {2 Algorithm 2 parameters and bounds (Theorem 3.8)} *)
+
+val source_threshold : ?c:float -> n:int -> unit -> float
+(** [c · n^{2/3} log^{5/3} n]: below this many sources, plain
+    Multi-Source-Unicast is already the better algorithm. *)
+
+val centers_f : ?c:float -> n:int -> k:int -> unit -> float
+(** [f = c · n^{1/2} k^{1/4} log^{5/4} n], clamped to [[1, n]]. *)
+
+val degree_gamma : ?c:float -> n:int -> f:float -> unit -> float
+(** [γ = c · n·log n / f]: the high/low degree threshold. *)
+
+val walk_length : ?c:float -> n:int -> f:float -> unit -> float
+(** [L = c · n⁴ log⁵ n / f³]: actual steps per walk for a
+    w.h.p. center hit. *)
+
+val rw_total : ?c:float -> n:int -> k:int -> unit -> float
+(** Total messages [c · n^{5/2} k^{1/4} log^{5/4} n]. *)
+
+val rw_amortized : ?c:float -> n:int -> k:int -> unit -> float
+(** Amortized [c · n^{5/2} log^{5/4} n / k^{3/4}]. *)
+
+(* {2 Table 1} *)
+
+type table1_row = {
+  label : string;  (** The paper's k-regime label. *)
+  k_of_n : n:int -> int;  (** Concrete k for a given n. *)
+  amortized_of_n : n:int -> float;  (** The paper's amortized bound. *)
+  paper_bound : string;  (** The bound as printed in Table 1. *)
+}
+
+val table1 : table1_row list
+(** The four rows of Table 1:
+    k = n^{2/3}log^{5/3}n → O(n²);
+    k = n → O(n^{7/4}log^{5/4}n);
+    k = n^{3/2} → O(n^{11/8}log^{5/4}n);
+    k = n² (capped below n² as k = o(n²)) → O(n·log^{5/4}n). *)

@@ -1,0 +1,91 @@
+type msg = { coeffs : Gf2.Vec.t; payload : int }
+
+type state = {
+  k : int;
+  basis : Gf2.Basis.t;
+  rng : Dynet.Rng.t;
+}
+
+let payload_of_uid uid =
+  (* A fixed odd-multiplier mix: cheap, deterministic, collision-free
+     enough for equality checks at simulator scale. *)
+  let h = (uid + 1) * 0x9e3779b97f4a7c1 in
+  (h lxor (h lsr 29)) land max_int
+
+let rank st = Gf2.Basis.rank st.basis
+
+let decoded ~k st =
+  Gf2.Basis.full st.basis
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun uid payload ->
+            match payload with
+            | Some p -> p = payload_of_uid uid
+            | None -> false)
+          (Gf2.Basis.decode st.basis))
+  && k = st.k
+
+let all_decoded ~k states = Array.for_all (decoded ~k) states
+
+(* A uniformly random combination of the basis rows (vector and payload
+   XORed together consistently); resample a few times to avoid wasting
+   the round on the empty combination. *)
+let random_packet st =
+  let rows = Gf2.Basis.vectors st.basis in
+  if rows = [] then None
+  else begin
+    let combine () =
+      List.fold_left
+        (fun (v, p) (row, row_payload) ->
+          if Dynet.Rng.bool st.rng then (Gf2.Vec.xor v row, p lxor row_payload)
+          else (v, p))
+        (Gf2.Vec.zero ~dim:st.k, 0)
+        rows
+    in
+    let rec try_nonzero attempts =
+      let v, p = combine () in
+      if Gf2.Vec.is_zero v && attempts > 0 then try_nonzero (attempts - 1)
+      else (v, p)
+    in
+    let v, p = try_nonzero 3 in
+    if Gf2.Vec.is_zero v then None else Some { coeffs = v; payload = p }
+  end
+
+module P = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  (* A coded packet carries token content: account it in the Token
+     class so E12's message counts compare like with like. *)
+  let classify (_ : msg) = Engine.Msg_class.Token
+
+  let intent st ~round:_ = (st, random_packet st)
+
+  let receive st ~round:_ ~inbox =
+    List.iter
+      (fun (_, { coeffs; payload }) ->
+        ignore (Gf2.Basis.insert st.basis coeffs ~payload))
+      inbox;
+    st
+
+  let progress st = Gf2.Basis.rank st.basis
+end
+
+let protocol =
+  (module P : Engine.Runner_broadcast.PROTOCOL
+    with type state = state
+     and type msg = msg)
+
+let init ~instance ~seed =
+  let k = Instance.k instance in
+  let master = Dynet.Rng.make ~seed in
+  Array.init (Instance.n instance) (fun v ->
+      let basis = Gf2.Basis.create ~dim:k in
+      List.iter
+        (fun (tok : Token.t) ->
+          ignore
+            (Gf2.Basis.insert basis
+               (Gf2.Vec.unit ~dim:k tok.uid)
+               ~payload:(payload_of_uid tok.uid)))
+        (Instance.tokens_of instance v);
+      { k; basis; rng = Dynet.Rng.split master })

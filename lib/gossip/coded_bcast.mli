@@ -1,0 +1,44 @@
+(** Random linear network-coding gossip (over GF(2)) — the
+    non-token-forwarding alternative the paper contrasts against.
+
+    Section 1.2 recalls that the Ω(nk/log n) round lower bound (and
+    hence this paper's Ω(n²/log²n) amortized-broadcast bound) applies
+    only to {e token-forwarding} algorithms, and that network coding
+    [Haeupler; Haeupler–Karger] solves k-gossip in O(n + k) rounds on
+    the same adversarial model when tokens are large enough for the
+    coefficient vectors to ride along (Ω(n log n) bits).
+
+    This module implements the simplest such scheme: every node keeps
+    the span of the coded packets it has received (incremental GF(2)
+    elimination, {!Gf2.Basis}); each round it broadcasts a uniformly
+    random combination of its basis rows.  A node is done when its
+    basis reaches full rank k and decoding reproduces every token
+    payload.
+
+    Each coded packet carries a k-bit coefficient vector, deliberately
+    breaking the O(log n)-bits-per-message budget of token forwarding —
+    that is precisely the trade the paper points at, and the E12 bench
+    measures the round-complexity gap it buys. *)
+
+type state
+
+type msg = { coeffs : Gf2.Vec.t; payload : int }
+
+val payload_of_uid : int -> int
+(** Deterministic pseudo-payload of token [uid] (so decoding is a real
+    check, not rank bookkeeping). *)
+
+val protocol :
+  (module Engine.Runner_broadcast.PROTOCOL
+     with type state = state
+      and type msg = msg)
+
+val init : instance:Instance.t -> seed:int -> state array
+
+val rank : state -> int
+
+val decoded : k:int -> state -> bool
+(** Full rank {e and} every decoded payload matches
+    {!payload_of_uid}. *)
+
+val all_decoded : k:int -> state array -> bool

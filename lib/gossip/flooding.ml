@@ -1,0 +1,67 @@
+type state = {
+  k : int;
+  phase_len : int;
+  (* tokens by uid; None = not yet known *)
+  known : Token.t option array;
+  known_count : int;
+}
+
+let knows st uid = st.known.(uid) <> None
+let known_count st = st.known_count
+
+let all_complete ~k states =
+  Array.for_all (fun st -> st.known_count >= k) states
+
+let learn st (tok : Token.t) =
+  if st.known.(tok.uid) <> None then st
+  else begin
+    let known = Array.copy st.known in
+    known.(tok.uid) <- Some tok;
+    { st with known; known_count = st.known_count + 1 }
+  end
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let intent st ~round =
+    let phase = (round - 1) / st.phase_len mod st.k in
+    match st.known.(phase) with
+    | None -> (st, None)
+    | Some tok -> (st, Some (Payload.Token_msg tok))
+
+  let receive st ~round:_ ~inbox =
+    List.fold_left
+      (fun st (_, msg) ->
+        match msg with
+        | Payload.Token_msg tok -> learn st tok
+        | Payload.Completeness _ | Payload.Request _ | Payload.Walk_msg _
+        | Payload.Center_announce ->
+            st)
+      st inbox
+
+  let progress st = st.known_count
+end
+
+let protocol =
+  (module P : Engine.Runner_broadcast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ~instance ?phase_len () =
+  let n = Instance.n instance in
+  let k = Instance.k instance in
+  let phase_len = Option.value phase_len ~default:(max 1 n) in
+  if phase_len < 1 then invalid_arg "Flooding.init: phase_len must be >= 1";
+  Array.init n (fun v ->
+      let st =
+        {
+          k;
+          phase_len;
+          known = Array.make k None;
+          known_count = 0;
+        }
+      in
+      List.fold_left learn st (Instance.tokens_of instance v))

@@ -1,0 +1,35 @@
+(** Phased naive flooding — the local-broadcast upper bound.
+
+    The paper's O(n²) amortized-broadcast upper bound ("each node
+    broadcasts each token for n rounds", Section 1): the execution is
+    divided into [k] phases of [n] rounds; during phase [i] every node
+    that knows token [i] (by uid) broadcasts it in every round.
+
+    Because every round graph is connected, any cut between knowers and
+    non-knowers of token [i] is crossed by some edge whose knowing
+    endpoint is broadcasting [i] — so at least one new node learns
+    token [i] per phase round, and [n] rounds per phase suffice {e even
+    against the strongly adaptive adversary}.  Total: ≤ n rounds × n
+    broadcasters × k phases = n²k messages, i.e. O(n²) amortized.
+
+    Like the paper's naive algorithm, this assumes the global token
+    labelling [0..k-1] and [k] are common knowledge. *)
+
+type state
+
+val protocol :
+  (module Engine.Runner_broadcast.PROTOCOL
+     with type state = state
+      and type msg = Payload.t)
+
+val init : instance:Instance.t -> ?phase_len:int -> unit -> state array
+(** Initial states; [phase_len] defaults to [n]. *)
+
+val knows : state -> int -> bool
+(** Whether the node knows the token with the given uid (used by the
+    lower-bound adversary adapter and by tests). *)
+
+val known_count : state -> int
+
+val all_complete : k:int -> state array -> bool
+(** Stop predicate: every node knows all [k] uids. *)

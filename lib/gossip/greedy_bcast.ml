@@ -1,0 +1,89 @@
+type policy = Round_robin | Random_token | Lazy of float
+
+type state = {
+  policy : policy;
+  known : Token.t list;  (* newest first *)
+  known_uids : Dynet.Node_id.Set.t;  (* uid set; uids are ints *)
+  cursor : int;
+  rng : Dynet.Rng.t;
+}
+
+let knows st uid = Dynet.Node_id.Set.mem uid st.known_uids
+let known_count st = Dynet.Node_id.Set.cardinal st.known_uids
+
+let all_complete ~k states =
+  Array.for_all (fun st -> known_count st >= k) states
+
+let learn st (tok : Token.t) =
+  if knows st tok.uid then st
+  else
+    {
+      st with
+      known = tok :: st.known;
+      known_uids = Dynet.Node_id.Set.add tok.uid st.known_uids;
+    }
+
+let pick_round_robin st =
+  match st.known with
+  | [] -> (st, None)
+  | known ->
+      let arr = Array.of_list known in
+      let i = st.cursor mod Array.length arr in
+      ({ st with cursor = st.cursor + 1 }, Some arr.(i))
+
+let pick_random st =
+  match st.known with
+  | [] -> (st, None)
+  | known -> (st, Some (Dynet.Rng.pick st.rng (Array.of_list known)))
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let intent st ~round:_ =
+    let st, choice =
+      match st.policy with
+      | Round_robin -> pick_round_robin st
+      | Random_token -> pick_random st
+      | Lazy p ->
+          if Dynet.Rng.bernoulli st.rng p then pick_random st else (st, None)
+    in
+    (st, Option.map (fun tok -> Payload.Token_msg tok) choice)
+
+  let receive st ~round:_ ~inbox =
+    List.fold_left
+      (fun st (_, msg) ->
+        match msg with
+        | Payload.Token_msg tok -> learn st tok
+        | Payload.Completeness _ | Payload.Request _ | Payload.Walk_msg _
+        | Payload.Center_announce ->
+            st)
+      st inbox
+
+  let progress st = known_count st
+end
+
+let protocol =
+  (module P : Engine.Runner_broadcast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ~instance ~policy ~seed () =
+  (match policy with
+  | Lazy p when p < 0. || p > 1. ->
+      invalid_arg "Greedy_bcast.init: lazy probability out of [0, 1]"
+  | Lazy _ | Round_robin | Random_token -> ());
+  let master = Dynet.Rng.make ~seed in
+  Array.init (Instance.n instance) (fun v ->
+      let st =
+        {
+          policy;
+          known = [];
+          known_uids = Dynet.Node_id.Set.empty;
+          cursor = v;  (* desynchronize the round-robin across nodes *)
+          rng = Dynet.Rng.split master;
+        }
+      in
+      List.fold_left learn st (Instance.tokens_of instance v))

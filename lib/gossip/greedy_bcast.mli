@@ -1,0 +1,33 @@
+(** Unstructured broadcast heuristics — extra victims for the
+    Section-2 lower bound.
+
+    Theorem 2.3 holds for {e every} token-forwarding algorithm.  Beyond
+    {!Flooding}, these heuristics probe the bound from different
+    angles: talking constantly, randomizing the token choice, or
+    staying mostly silent.  Against the lower-bound adversary they all
+    pay Ω(n²/log²n) broadcasts per token actually delivered — in
+    particular, silence does not help, because rounds with fewer than
+    n/(c·log n) broadcasters make zero progress (Lemma 2.2). *)
+
+type policy =
+  | Round_robin  (** Cycle deterministically through the known tokens. *)
+  | Random_token  (** Broadcast a uniformly random known token. *)
+  | Lazy of float
+      (** Broadcast (a random known token) only with the given
+          probability; otherwise stay silent. *)
+
+type state
+
+val protocol :
+  (module Engine.Runner_broadcast.PROTOCOL
+     with type state = state
+      and type msg = Payload.t)
+
+val init :
+  instance:Instance.t -> policy:policy -> seed:int -> unit -> state array
+(** @raise Invalid_argument if a [Lazy] probability is outside
+    [0, 1]. *)
+
+val knows : state -> int -> bool
+val known_count : state -> int
+val all_complete : k:int -> state array -> bool

@@ -1,0 +1,91 @@
+type t = {
+  n : int;
+  k : int;
+  assignment : Token.t list array;
+}
+
+let validate n assignment =
+  if Array.length assignment <> n then
+    invalid_arg "Instance.make: assignment length differs from n";
+  let k =
+    Array.fold_left (fun acc ts -> acc + List.length ts) 0 assignment
+  in
+  let seen_uid = Array.make k false in
+  Array.iteri
+    (fun v ts ->
+      List.iteri
+        (fun i (tok : Token.t) ->
+          if tok.src <> v then
+            invalid_arg "Instance.make: token catalogued under wrong source";
+          if tok.idx <> i then
+            invalid_arg "Instance.make: source token idxs must be 0..k_v-1";
+          if tok.uid >= k then invalid_arg "Instance.make: uid out of range";
+          if seen_uid.(tok.uid) then
+            invalid_arg "Instance.make: duplicate token uid";
+          seen_uid.(tok.uid) <- true)
+        ts)
+    assignment;
+  k
+
+let make ~n ~assignment =
+  let k = validate n assignment in
+  if k < 1 then invalid_arg "Instance.make: at least one token required";
+  { n; k; assignment }
+
+let single_source ~n ~k ~source =
+  if source < 0 || source >= n then
+    invalid_arg "Instance.single_source: source out of range";
+  let assignment = Array.make n [] in
+  assignment.(source) <-
+    List.init k (fun i -> Token.make ~src:source ~idx:i ~uid:i);
+  make ~n ~assignment
+
+let multi_source ~rng ~n ~k ~s =
+  if s < 1 || s > k || s > n then
+    invalid_arg "Instance.multi_source: need 1 <= s <= min k n";
+  let source_ids =
+    Dynet.Rng.sample_without_replacement rng s n |> Array.of_list
+  in
+  (* One token to each source, the rest placed uniformly. *)
+  let counts = Array.make s 1 in
+  for _ = 1 to k - s do
+    let j = Dynet.Rng.int rng s in
+    counts.(j) <- counts.(j) + 1
+  done;
+  let assignment = Array.make n [] in
+  let uid = ref 0 in
+  Array.iteri
+    (fun j src ->
+      assignment.(src) <-
+        List.init counts.(j) (fun i ->
+            let tok = Token.make ~src ~idx:i ~uid:!uid in
+            incr uid;
+            tok))
+    source_ids;
+  make ~n ~assignment
+
+let one_per_node ~n =
+  let assignment =
+    Array.init n (fun v -> [ Token.make ~src:v ~idx:0 ~uid:v ])
+  in
+  make ~n ~assignment
+
+let n t = t.n
+let k t = t.k
+
+let sources t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.assignment.(v) <> [] then acc := v :: !acc
+  done;
+  !acc
+
+let source_count t = List.length (sources t)
+let tokens_of t v = t.assignment.(v)
+let k_of t v = List.length t.assignment.(v)
+
+let all_tokens t =
+  Array.fold_left (fun acc ts -> acc @ ts) [] t.assignment
+
+let pp ppf t =
+  Format.fprintf ppf "instance n=%d k=%d s=%d" t.n t.k (source_count t)

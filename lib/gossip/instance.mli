@@ -1,0 +1,47 @@
+(** k-token dissemination problem instances (Definition 1.2).
+
+    An instance fixes the node count and the initial placement of the
+    [k] distinct tokens.  Tokens are identified by uids [0..k-1] and
+    initially catalogued under the node that holds them (the
+    {e sources}, [a_1 < a_2 < ... < a_s] in the paper's notation). *)
+
+type t
+
+val make : n:int -> assignment:Token.t list array -> t
+(** [assignment.(v)] is node [v]'s initial token list.  Validates: the
+    array has length [n]; uids are exactly [0 .. k-1] with no
+    duplicates; each token's catalog [src] is the node holding it and
+    the [idx]s of each source are exactly [0 .. k_src - 1].
+    @raise Invalid_argument otherwise. *)
+
+val single_source : n:int -> k:int -> source:Dynet.Node_id.t -> t
+(** All [k] tokens at one node (Section 3.1's special case). *)
+
+val multi_source :
+  rng:Dynet.Rng.t -> n:int -> k:int -> s:int -> t
+(** [k] tokens split over [s] distinct uniformly chosen sources, every
+    source getting at least one token, the remainder spread uniformly.
+    @raise Invalid_argument unless [1 <= s <= min k n]. *)
+
+val one_per_node : n:int -> t
+(** The n-gossip instance: node [v] starts with exactly token [v] —
+    the "important special case" of the paper's open problems. *)
+
+val n : t -> int
+val k : t -> int
+
+val sources : t -> Dynet.Node_id.t list
+(** Nodes with at least one initial token, increasing order. *)
+
+val source_count : t -> int
+
+val tokens_of : t -> Dynet.Node_id.t -> Token.t list
+(** Initial tokens of a node (idx order). *)
+
+val k_of : t -> Dynet.Node_id.t -> int
+(** Number of initial tokens of a node. *)
+
+val all_tokens : t -> Token.t list
+(** All [k] tokens, catalog order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+module NMap = Dynet.Node_id.Map
+
+type state = {
+  me : Dynet.Node_id.t;
+  champion : Dynet.Node_id.t;
+  told : Dynet.Node_id.t NMap.t;
+      (* per neighbor: the champion value we last sent them (persists
+         across edge churn, so re-meetings cost nothing when nothing
+         changed) *)
+  improvements : int;
+}
+
+let champion st = st.champion
+let improvements st = st.improvements
+
+let elected ~n states =
+  Array.for_all (fun st -> st.champion = n - 1) states
+
+(* The champion rides in a Completeness payload: it is the same kind of
+   O(log n)-bit control announcement, and classifying it as such keeps
+   the ledger comparable with the dissemination protocols. *)
+let announce champion = Payload.Completeness { source = champion; count = 0 }
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let send st ~round:_ ~neighbors =
+    let msgs = ref [] in
+    let told = ref st.told in
+    Array.iter
+      (fun w ->
+        let already = NMap.find_opt w !told in
+        if already <> Some st.champion then begin
+          told := NMap.add w st.champion !told;
+          msgs := (w, announce st.champion) :: !msgs
+        end)
+      neighbors;
+    ({ st with told = !told }, List.rev !msgs)
+
+  let receive st ~round:_ ~neighbors:_ ~inbox =
+    List.fold_left
+      (fun st (_, msg) ->
+        match msg with
+        | Payload.Completeness { source = candidate; count = _ } ->
+            if candidate > st.champion then
+              {
+                st with
+                champion = candidate;
+                improvements = st.improvements + 1;
+              }
+            else st
+        | Payload.Token_msg _ | Payload.Request _ | Payload.Walk_msg _
+        | Payload.Center_announce ->
+            st)
+      st inbox
+
+  let progress st = if st.champion >= 0 then 1 else 0
+end
+
+let protocol =
+  (module P : Engine.Runner_unicast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ~n =
+  Array.init n (fun v ->
+      { me = v; champion = v; told = NMap.empty; improvements = 0 })

@@ -1,0 +1,43 @@
+(** Adversary-competitive leader election — the paper's future-work
+    direction, made concrete.
+
+    The conclusion (Section 4) proposes the adversary-competitive
+    measure as a lens for other dynamic-network problems, naming leader
+    election first.  This protocol is the natural token-style
+    formulation: every node starts as a candidate carrying its own id;
+    nodes propagate the maximum id they have seen, and a node tells a
+    neighbor its current champion only when it has something new to say
+    — either its champion improved, or the edge is new and the neighbor
+    was never told this value (per-neighbor memory persists across
+    churn, like Algorithm 1's announcement sets).
+
+    Message structure mirrors the dissemination analysis: a send is
+    chargeable either to a {e champion improvement} at the sender (at
+    most n−1 per node over the whole run, O(log n) in expectation for
+    random arrival orders) or to an {e edge insertion} (at most one
+    catch-up message per direction per insertion, i.e. ≤ 2·TC(E)).
+    The E13 bench measures both components against churn.
+
+    Election completes when every node's champion is the global maximum
+    id; as with dissemination, the harness detects this omnisciently. *)
+
+type state
+
+val protocol :
+  (module Engine.Runner_unicast.PROTOCOL
+     with type state = state
+      and type msg = Payload.t)
+
+val init : n:int -> state array
+(** Node [v]'s candidate id is [v] itself; the rightful leader is
+    [n-1]. *)
+
+val champion : state -> Dynet.Node_id.t
+(** The highest id this node has seen so far. *)
+
+val improvements : state -> int
+(** How many times this node's champion changed (its own id counts as
+    the zeroth, unpaid value). *)
+
+val elected : n:int -> state array -> bool
+(** Every node's champion is [n-1]. *)

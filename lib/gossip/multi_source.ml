@@ -1,0 +1,285 @@
+module IMap = Map.Make (Int)
+module NSet = Dynet.Node_id.Set
+module NMap = Dynet.Node_id.Map
+
+type edge_info = { inserted_at : int; contributed : bool }
+
+(* Everything node v tracks about one discovered source x. *)
+type per_source = {
+  count : int option;  (* k_x, once learned *)
+  known : Token.t IMap.t;  (* x's tokens held, by idx *)
+  complete : bool;  (* x ∈ I_v *)
+  informed : NSet.t;  (* R_v(x) *)
+  announcers : NSet.t;  (* S_v(x) *)
+}
+
+let fresh_source =
+  {
+    count = None;
+    known = IMap.empty;
+    complete = false;
+    informed = NSet.empty;
+    announcers = NSet.empty;
+  }
+
+type source_order = Min_source | Random_source
+
+type state = {
+  me : Dynet.Node_id.t;
+  source_order : source_order;
+  rng : Dynet.Rng.t;
+  sources : per_source NMap.t;  (* discovered sources *)
+  edges : edge_info NMap.t;
+  pending : (Dynet.Node_id.t * Dynet.Node_id.t * int) list;
+      (* (neighbor asked, source, idx) sent last round *)
+  to_serve : (Dynet.Node_id.t * Dynet.Node_id.t * int) list;
+      (* (asker, source, idx) received last round *)
+  requests_sent : int;
+  announcements_sent : int;
+}
+
+let source_info st x =
+  Option.value (NMap.find_opt x st.sources) ~default:fresh_source
+
+let update_source st x f = { st with sources = NMap.add x (f (source_info st x)) st.sources }
+
+let known_count st =
+  NMap.fold (fun _ ps acc -> acc + IMap.cardinal ps.known) st.sources 0
+
+let complete_wrt st x = (source_info st x).complete
+
+let all_complete ~k states =
+  Array.for_all (fun st -> known_count st >= k) states
+
+let requests_sent st = st.requests_sent
+let announcements_sent st = st.announcements_sent
+
+let refresh_edges st ~round ~neighbors =
+  let edges =
+    Array.fold_left
+      (fun acc w ->
+        match NMap.find_opt w st.edges with
+        | Some info -> NMap.add w info acc
+        | None -> NMap.add w { inserted_at = round; contributed = false } acc)
+      NMap.empty neighbors
+  in
+  { st with edges }
+
+type category = New | Idle | Contributive
+
+let categorize ~round info =
+  if info.inserted_at >= round - 1 then New
+  else if info.contributed then Contributive
+  else Idle
+
+(* Task 1: announce, per neighbor, the minimum own-complete source the
+   neighbor has not heard about from us. *)
+let announce_task st ~neighbors =
+  let msgs = ref [] in
+  let st = ref st in
+  Array.iter
+    (fun w ->
+      let candidate =
+        NMap.fold
+          (fun x ps best ->
+            if ps.complete && not (NSet.mem w ps.informed) then
+              match best with Some b when b <= x -> best | _ -> Some x
+            else best)
+          !st.sources None
+      in
+      match candidate with
+      | None -> ()
+      | Some x ->
+          let count = Option.get (source_info !st x).count in
+          st :=
+            update_source !st x (fun ps ->
+                { ps with informed = NSet.add w ps.informed });
+          st := { !st with announcements_sent = !st.announcements_sent + 1 };
+          msgs := (w, Payload.Completeness { source = x; count }) :: !msgs)
+    neighbors;
+  (!st, List.rev !msgs)
+
+(* Task 2: serve last round's requests, if the asker is still a
+   neighbor and we hold the token. *)
+let serve_task st ~neighbors =
+  let neighbor_set =
+    Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
+  in
+  let msgs =
+    List.filter_map
+      (fun (u, x, idx) ->
+        if NSet.mem u neighbor_set then
+          match IMap.find_opt idx (source_info st x).known with
+          | Some tok -> Some (u, Payload.Token_msg tok)
+          | None -> None
+        else None)
+      st.to_serve
+  in
+  ({ st with to_serve = [] }, msgs)
+
+(* Task 3: the Single-Source request logic for one incomplete source
+   that has announced completeness in our neighborhood — the minimum
+   one under the paper's rule, a random one under the ablation. *)
+let request_task st ~round ~neighbors =
+  let candidates =
+    NMap.fold
+      (fun x ps acc ->
+        if (not ps.complete) && not (NSet.is_empty ps.announcers) then
+          x :: acc
+        else acc)
+      st.sources []
+  in
+  let target =
+    match (st.source_order, candidates) with
+    | _, [] -> None
+    | Min_source, xs -> Some (List.fold_left min max_int xs)
+    | Random_source, xs -> Some (Dynet.Rng.pick st.rng (Array.of_list xs))
+  in
+  match target with
+  | None -> ({ st with pending = [] }, [])
+  | Some x ->
+      let ps = source_info st x in
+      let k_x = Option.get ps.count in
+      let neighbor_set =
+        Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
+      in
+      let arriving =
+        List.filter_map
+          (fun (w, x', idx) ->
+            if x' = x && NSet.mem w neighbor_set then Some idx else None)
+          st.pending
+      in
+      let missing =
+        List.init k_x (fun idx -> idx)
+        |> List.filter (fun idx ->
+               (not (IMap.mem idx ps.known)) && not (List.mem idx arriving))
+      in
+      let eligible =
+        Array.to_list neighbors
+        |> List.filter (fun w -> NSet.mem w ps.announcers)
+        |> List.map (fun w -> (w, categorize ~round (NMap.find w st.edges)))
+      in
+      let in_category c =
+        List.filter_map (fun (w, cat) -> if cat = c then Some w else None)
+          eligible
+      in
+      let ordered =
+        in_category New @ in_category Idle @ in_category Contributive
+      in
+      let rec assign acc = function
+        | [], _ | _, [] -> List.rev acc
+        | idx :: missing, w :: edges ->
+            assign ((w, x, idx) :: acc) (missing, edges)
+      in
+      let requests = assign [] (missing, ordered) in
+      let msgs =
+        List.map (fun (w, _, idx) -> (w, Payload.Request { source = x; idx }))
+          requests
+      in
+      ( {
+          st with
+          pending = requests;
+          requests_sent = st.requests_sent + List.length requests;
+        },
+        msgs )
+
+let learn st (tok : Token.t) ~from =
+  let x = tok.src in
+  let ps = source_info st x in
+  if IMap.mem tok.idx ps.known then st
+  else begin
+    let known = IMap.add tok.idx tok ps.known in
+    let complete =
+      match ps.count with Some c -> IMap.cardinal known = c | None -> false
+    in
+    let st = update_source st x (fun ps -> { ps with known; complete }) in
+    let edges =
+      match NMap.find_opt from st.edges with
+      | Some info -> NMap.add from { info with contributed = true } st.edges
+      | None -> st.edges
+    in
+    { st with edges }
+  end
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let send st ~round ~neighbors =
+    let st = refresh_edges st ~round ~neighbors in
+    let st, announce = announce_task st ~neighbors in
+    let st, serve = serve_task st ~neighbors in
+    let st, request = request_task st ~round ~neighbors in
+    (st, announce @ serve @ request)
+
+  let receive st ~round:_ ~neighbors:_ ~inbox =
+    List.fold_left
+      (fun st (u, msg) ->
+        match msg with
+        | Payload.Completeness { source = x; count } ->
+            update_source st x (fun ps ->
+                (match ps.count with
+                | Some c -> assert (c = count)
+                | None -> ());
+                {
+                  ps with
+                  count = Some count;
+                  announcers = NSet.add u ps.announcers;
+                  complete =
+                    ps.complete || IMap.cardinal ps.known = count;
+                })
+        | Payload.Token_msg tok -> learn st tok ~from:u
+        | Payload.Request { source = x; idx } ->
+            if (source_info st x).complete then
+              { st with to_serve = (u, x, idx) :: st.to_serve }
+            else st
+        | Payload.Walk_msg _ | Payload.Center_announce -> st)
+      st inbox
+
+  let progress st = known_count st
+end
+
+let protocol =
+  (module P : Engine.Runner_unicast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ?(source_order = Min_source) ?(seed = 0) ~instance () =
+  let master = Dynet.Rng.make ~seed in
+  Array.init (Instance.n instance) (fun v ->
+      let base =
+        {
+          me = v;
+          source_order;
+          rng = Dynet.Rng.split master;
+          sources = NMap.empty;
+          edges = NMap.empty;
+          pending = [];
+          to_serve = [];
+          requests_sent = 0;
+          announcements_sent = 0;
+        }
+      in
+      match Instance.tokens_of instance v with
+      | [] -> base
+      | tokens ->
+          let known =
+            List.fold_left
+              (fun acc (tok : Token.t) -> IMap.add tok.idx tok acc)
+              IMap.empty tokens
+          in
+          {
+            base with
+            sources =
+              NMap.add v
+                {
+                  count = Some (List.length tokens);
+                  known;
+                  complete = true;
+                  informed = NSet.empty;
+                  announcers = NSet.empty;
+                }
+                NMap.empty;
+          })

@@ -1,0 +1,45 @@
+type t =
+  | Token_msg of Token.t
+  | Completeness of { source : Dynet.Node_id.t; count : int }
+  | Request of { source : Dynet.Node_id.t; idx : int }
+  | Walk_msg of Token.t
+  | Center_announce
+
+let token_bits = 64
+
+let bits_of_int x = max 1 (int_of_float (ceil (log (float_of_int (max 2 x)) /. log 2.)))
+
+let bits ~n ~k = function
+  | Token_msg _ ->
+      (* catalog entry (source id + index) + payload *)
+      bits_of_int n + bits_of_int k + token_bits
+  | Completeness _ -> bits_of_int n + bits_of_int k
+  | Request _ -> bits_of_int n + bits_of_int k
+  | Walk_msg _ -> bits_of_int n + bits_of_int k + token_bits
+  | Center_announce -> 1
+
+let classify = function
+  | Token_msg _ -> Engine.Msg_class.Token
+  | Completeness _ -> Engine.Msg_class.Completeness
+  | Request _ -> Engine.Msg_class.Request
+  | Walk_msg _ -> Engine.Msg_class.Walk
+  | Center_announce -> Engine.Msg_class.Center
+
+let pp ppf = function
+  | Token_msg tok -> Format.fprintf ppf "token %a" Token.pp tok
+  | Completeness { source; count } ->
+      Format.fprintf ppf "complete(%a,k=%d)" Dynet.Node_id.pp source count
+  | Request { source; idx } ->
+      Format.fprintf ppf "request(%a.%d)" Dynet.Node_id.pp source idx
+  | Walk_msg tok -> Format.fprintf ppf "walk %a" Token.pp tok
+  | Center_announce -> Format.fprintf ppf "center"
+
+let equal a b =
+  match (a, b) with
+  | Token_msg x, Token_msg y | Walk_msg x, Walk_msg y -> Token.equal x y
+  | Completeness a, Completeness b -> a.source = b.source && a.count = b.count
+  | Request a, Request b -> a.source = b.source && a.idx = b.idx
+  | Center_announce, Center_announce -> true
+  | ( (Token_msg _ | Completeness _ | Request _ | Walk_msg _ | Center_announce),
+      _ ) ->
+      false

@@ -1,0 +1,39 @@
+(** The concrete wire messages shared by all protocols in this library.
+
+    Every message fits the model's budget — a constant number of tokens
+    plus [O(log n)] additional bits (Section 1.3):
+    token payloads carry one token; announcements and requests carry
+    one identifier and one integer. *)
+
+type t =
+  | Token_msg of Token.t
+      (** A token copy (dissemination) — type 1 of Theorem 3.1. *)
+  | Completeness of { source : Dynet.Node_id.t; count : int }
+      (** "I am complete with respect to [source], which owns [count]
+          tokens" — type 2.  Carrying [count] is how non-source nodes
+          learn how many tokens to request; [O(log n)] bits for
+          polynomially many tokens. *)
+  | Request of { source : Dynet.Node_id.t; idx : int }
+      (** "Send me token [idx] of [source]" — type 3. *)
+  | Walk_msg of Token.t
+      (** A token moving (not copying) one random-walk step
+          (Algorithm 2, phase 1). *)
+  | Center_announce
+      (** "I am a center" (Algorithm 2); see {!Engine.Msg_class.Center}
+          for how it is accounted. *)
+
+val classify : t -> Engine.Msg_class.t
+
+val bits : n:int -> k:int -> t -> int
+(** Size of the message in bits under the model of Section 1.3: ids
+    and counters cost [⌈log₂ n⌉] / [⌈log₂ k⌉] bits, a token payload
+    costs [token_bits] (a modelling constant, default 64 — "token
+    contents"; the model allows any constant number of tokens per
+    message).  Used by the bit-complexity comparisons (e.g. E12, where
+    network coding wins rounds but pays k-bit coefficient vectors). *)
+
+val token_bits : int
+(** The modelled payload size of one token (64). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

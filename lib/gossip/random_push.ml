@@ -1,0 +1,64 @@
+type state = {
+  known : Token.t list;
+  known_uids : Dynet.Node_id.Set.t;  (* uids are plain ints *)
+  rng : Dynet.Rng.t;
+}
+
+let known_count st = Dynet.Node_id.Set.cardinal st.known_uids
+
+let all_complete ~k states =
+  Array.for_all (fun st -> known_count st >= k) states
+
+let learn st (tok : Token.t) =
+  if Dynet.Node_id.Set.mem tok.uid st.known_uids then st
+  else
+    {
+      st with
+      known = tok :: st.known;
+      known_uids = Dynet.Node_id.Set.add tok.uid st.known_uids;
+    }
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let send st ~round:_ ~neighbors =
+    match st.known with
+    | [] -> (st, [])
+    | known when Array.length neighbors = 0 -> ignore known; (st, [])
+    | known ->
+        let tok = Dynet.Rng.pick st.rng (Array.of_list known) in
+        let w = Dynet.Rng.pick st.rng neighbors in
+        (st, [ (w, Payload.Token_msg tok) ])
+
+  let receive st ~round:_ ~neighbors:_ ~inbox =
+    List.fold_left
+      (fun st (_, msg) ->
+        match msg with
+        | Payload.Token_msg tok -> learn st tok
+        | Payload.Completeness _ | Payload.Request _ | Payload.Walk_msg _
+        | Payload.Center_announce ->
+            st)
+      st inbox
+
+  let progress st = known_count st
+end
+
+let protocol =
+  (module P : Engine.Runner_unicast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ~instance ~seed =
+  let master = Dynet.Rng.make ~seed in
+  Array.init (Instance.n instance) (fun v ->
+      let st =
+        {
+          known = [];
+          known_uids = Dynet.Node_id.Set.empty;
+          rng = Dynet.Rng.split master;
+        }
+      in
+      List.fold_left learn st (Instance.tokens_of instance v))

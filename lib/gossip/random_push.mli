@@ -1,0 +1,28 @@
+(** Random-push gossip — an unstructured unicast baseline.
+
+    Every round, every node holding at least one token sends one
+    uniformly random known token to one uniformly random current
+    neighbor.  This is the classic push protocol; it is what a naive
+    unicast design looks like {e without} the request/response
+    structure of Algorithm 1.
+
+    It is correct (on connected dynamic graphs every token eventually
+    reaches everyone, with probability 1 against an oblivious
+    adversary) but pays for its blindness twice: most pushes deliver
+    already-known tokens (no per-pair once-only guarantee, so the exact
+    [k(n-1)] token count of Theorem 3.1 is lost), and nothing in its
+    cost is chargeable to the adversary — it sends the same volume on a
+    perfectly static graph.  The ablation bench quantifies both
+    effects. *)
+
+type state
+
+val protocol :
+  (module Engine.Runner_unicast.PROTOCOL
+     with type state = state
+      and type msg = Payload.t)
+
+val init : instance:Instance.t -> seed:int -> state array
+
+val known_count : state -> int
+val all_complete : k:int -> state array -> bool

@@ -1,0 +1,130 @@
+type unicast_env =
+  | Oblivious of Adversary.Schedule.t
+  | Request_cutting of { seed : int; cut_prob : float }
+
+let default_unicast_cap ~n ~k = (4 * n * k) + (4 * n * n) + 64
+let default_broadcast_cap ~n ~k = (n * k) + n + 64
+
+let unicast_adversary ~n = function
+  | Oblivious schedule -> Adversary.Schedule.unicast schedule
+  | Request_cutting { seed; cut_prob } ->
+      Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
+
+let single_source ~instance ~env ?max_rounds ?config () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
+  in
+  let states = Single_source.init ?config ~instance () in
+  Engine.Runner_unicast.run Single_source.protocol ~states
+    ~adversary:(unicast_adversary ~n env)
+    ~max_rounds
+    ~stop:(Single_source.all_complete ~k)
+    ()
+
+let multi_source ~instance ~env ?max_rounds ?source_order ?seed () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
+  in
+  let states = Multi_source.init ?source_order ?seed ~instance () in
+  Engine.Runner_unicast.run Multi_source.protocol ~states
+    ~adversary:(unicast_adversary ~n env)
+    ~max_rounds
+    ~stop:(Multi_source.all_complete ~k)
+    ()
+
+let flooding ~instance ~schedule ?phase_len ?max_rounds () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
+  in
+  let states = Flooding.init ~instance ?phase_len () in
+  Engine.Runner_broadcast.run Flooding.protocol ~states
+    ~adversary:(Adversary.Schedule.broadcast schedule)
+    ~max_rounds
+    ~stop:(Flooding.all_complete ~k)
+    ()
+
+let token_uid_of_msg = function
+  | Payload.Token_msg tok -> Some tok.Token.uid
+  | Payload.Completeness _ | Payload.Request _ | Payload.Walk_msg _
+  | Payload.Center_announce ->
+      None
+
+let flooding_vs_lower_bound ~instance ~seed ?max_rounds () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
+  in
+  let lb =
+    Adversary.Broadcast_lb.create ~rng:(Dynet.Rng.make ~seed) ~n ~k
+  in
+  let adversary =
+    Adversary.Broadcast_lb.to_engine lb ~knows:Flooding.knows
+      ~token_of:token_uid_of_msg
+  in
+  let states = Flooding.init ~instance () in
+  let result, states =
+    Engine.Runner_broadcast.run Flooding.protocol ~states ~adversary
+      ~max_rounds
+      ~stop:(Flooding.all_complete ~k)
+      ()
+  in
+  (result, states, lb)
+
+let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
+  in
+  let lb =
+    Adversary.Broadcast_lb.create ~rng:(Dynet.Rng.make ~seed:(seed lxor 0x3c)) ~n ~k
+  in
+  let adversary =
+    Adversary.Broadcast_lb.to_engine lb ~knows:Greedy_bcast.knows
+      ~token_of:token_uid_of_msg
+  in
+  let states = Greedy_bcast.init ~instance ~policy ~seed () in
+  let result, states =
+    Engine.Runner_broadcast.run Greedy_bcast.protocol ~states ~adversary
+      ~max_rounds
+      ~stop:(Greedy_bcast.all_complete ~k)
+      ()
+  in
+  (result, states, lb)
+
+let random_push ~instance ~env ~seed ?max_rounds () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(4 * default_unicast_cap ~n ~k)
+  in
+  let states = Random_push.init ~instance ~seed in
+  Engine.Runner_unicast.run Random_push.protocol ~states
+    ~adversary:(unicast_adversary ~n env)
+    ~max_rounds
+    ~stop:(Random_push.all_complete ~k)
+    ()
+
+let leader_election ~n ~env ?max_rounds () =
+  let max_rounds = Option.value max_rounds ~default:((8 * n * n) + 64) in
+  let states = Leader_election.init ~n in
+  Engine.Runner_unicast.run Leader_election.protocol ~states
+    ~adversary:(unicast_adversary ~n env)
+    ~max_rounds
+    ~stop:(Leader_election.elected ~n)
+    ()
+
+let coded_broadcast ~instance ~schedule ~seed ?max_rounds () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
+  in
+  let states = Coded_bcast.init ~instance ~seed in
+  Engine.Runner_broadcast.run Coded_bcast.protocol ~states
+    ~adversary:(Adversary.Schedule.broadcast schedule)
+    ~max_rounds
+    ~stop:(Coded_bcast.all_decoded ~k)
+    ()
+
+let oblivious_rw = Oblivious_rw.run

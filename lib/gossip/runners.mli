@@ -1,0 +1,115 @@
+(** One-call experiment runners: protocol × adversary × instance.
+
+    This is the library's front door.  Each function wires a protocol
+    to an adversary and an instance, picks sound default round caps
+    (generous multiples of the paper's proved round bounds), runs the
+    engine, and returns the {!Engine.Run_result.t} plus the final node
+    states for inspection. *)
+
+type unicast_env =
+  | Oblivious of Adversary.Schedule.t
+      (** A pre-committed topology schedule. *)
+  | Request_cutting of { seed : int; cut_prob : float }
+      (** The adaptive {!Adversary.Request_cutter}. *)
+
+val default_unicast_cap : n:int -> k:int -> int
+(** [4nk + 4n² + 64]: well above the O(nk) bound of Theorems 3.4/3.6,
+    with slack for unstable schedules. *)
+
+val default_broadcast_cap : n:int -> k:int -> int
+(** [nk + n + 64]: above flooding's nk guarantee. *)
+
+val single_source :
+  instance:Instance.t ->
+  env:unicast_env ->
+  ?max_rounds:int ->
+  ?config:Single_source.config ->
+  unit ->
+  Engine.Run_result.t * Single_source.state array
+(** Algorithm 1 ([config] defaults to the paper's behaviour; the other
+    configurations exist for the ablation bench).
+    @raise Invalid_argument on multi-source instances. *)
+
+val multi_source :
+  instance:Instance.t ->
+  env:unicast_env ->
+  ?max_rounds:int ->
+  ?source_order:Multi_source.source_order ->
+  ?seed:int ->
+  unit ->
+  Engine.Run_result.t * Multi_source.state array
+(** [source_order] defaults to the paper's min-source rule; the random
+    alternative exists for the ablation bench. *)
+
+val flooding :
+  instance:Instance.t ->
+  schedule:Adversary.Schedule.t ->
+  ?phase_len:int ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Flooding.state array
+(** Phased flooding against an oblivious schedule. *)
+
+val flooding_vs_lower_bound :
+  instance:Instance.t ->
+  seed:int ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Flooding.state array * Adversary.Broadcast_lb.t
+(** Phased flooding against the Section-2 strongly adaptive adversary.
+    The returned adversary exposes its per-round history and the
+    potential function for the E2/E3 experiments. *)
+
+val greedy_vs_lower_bound :
+  instance:Instance.t ->
+  policy:Greedy_bcast.policy ->
+  seed:int ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Greedy_bcast.state array * Adversary.Broadcast_lb.t
+(** An unstructured broadcast heuristic against the same adversary.
+    These generally do {e not} complete within any polynomial cap —
+    the interesting output is messages spent per learning achieved. *)
+
+val random_push :
+  instance:Instance.t ->
+  env:unicast_env ->
+  seed:int ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Random_push.state array
+(** The unstructured push baseline (ablation: what the
+    request/response structure of Algorithm 1 buys). *)
+
+val leader_election :
+  n:int ->
+  env:unicast_env ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Leader_election.state array
+(** Max-id leader election under the adversary-competitive lens (the
+    paper's Section-4 direction); stops when everyone agrees on the
+    leader. *)
+
+val coded_broadcast :
+  instance:Instance.t ->
+  schedule:Adversary.Schedule.t ->
+  seed:int ->
+  ?max_rounds:int ->
+  unit ->
+  Engine.Run_result.t * Coded_bcast.state array
+(** Network-coding gossip (not token-forwarding; see {!Coded_bcast}).
+    Stops when every node has decoded all k tokens. *)
+
+val oblivious_rw :
+  instance:Instance.t ->
+  schedule:Adversary.Schedule.t ->
+  seed:int ->
+  ?const_f:float ->
+  ?const_gamma:float ->
+  ?force_rw:bool ->
+  ?phase1_cap:int ->
+  ?phase2_cap:int ->
+  unit ->
+  Oblivious_rw.result
+(** Algorithm 2 (re-exported from {!Oblivious_rw.run}). *)

@@ -1,0 +1,131 @@
+module NSet = Dynet.Node_id.Set
+
+type state = {
+  me : Dynet.Node_id.t;
+  n : int;
+  is_center : bool;
+  holding : Token.t list;
+  known_centers : NSet.t;  (* persists across edge churn *)
+  announced : NSet.t;  (* if center: whom we already told *)
+  gamma : float;
+  rng : Dynet.Rng.t;
+}
+
+let is_center st = st.is_center
+let holding st = st.holding
+
+let settled states =
+  Array.for_all (fun st -> st.is_center || st.holding = []) states
+
+let collected states =
+  Array.to_list states
+  |> List.filter_map (fun st ->
+         if st.is_center then
+           Some
+             ( st.me,
+               List.sort (fun (a : Token.t) b -> Int.compare a.uid b.uid)
+                 st.holding )
+         else None)
+
+let center_send st ~neighbors =
+  let msgs = ref [] in
+  let announced = ref st.announced in
+  Array.iter
+    (fun w ->
+      if not (NSet.mem w !announced) then begin
+        announced := NSet.add w !announced;
+        msgs := (w, Payload.Center_announce) :: !msgs
+      end)
+    neighbors;
+  ({ st with announced = !announced }, List.rev !msgs)
+
+let high_degree_send st ~neighbors =
+  (* Hand one held token to each neighboring center. *)
+  let center_neighbors =
+    Array.to_list neighbors
+    |> List.filter (fun w -> NSet.mem w st.known_centers)
+  in
+  let rec pair acc holding centers =
+    match (holding, centers) with
+    | [], _ | _, [] -> (List.rev acc, holding)
+    | tok :: holding, c :: centers ->
+        pair ((c, Payload.Walk_msg tok) :: acc) holding centers
+  in
+  let msgs, left = pair [] st.holding center_neighbors in
+  ({ st with holding = left }, msgs)
+
+let low_degree_send st ~neighbors =
+  let d = Array.length neighbors in
+  let move_prob = float_of_int d /. float_of_int st.n in
+  let used = ref NSet.empty in
+  let msgs = ref [] in
+  let left = ref [] in
+  List.iter
+    (fun tok ->
+      if d > 0 && Dynet.Rng.bernoulli st.rng move_prob then begin
+        let w = neighbors.(Dynet.Rng.int st.rng d) in
+        if NSet.mem w !used then
+          (* Congestion: one token per edge per round; stay passive. *)
+          left := tok :: !left
+        else begin
+          used := NSet.add w !used;
+          msgs := (w, Payload.Walk_msg tok) :: !msgs
+        end
+      end
+      else
+        (* Virtual self-loop: the walk steps but no message is sent. *)
+        left := tok :: !left)
+    st.holding;
+  ({ st with holding = List.rev !left }, List.rev !msgs)
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let send st ~round:_ ~neighbors =
+    if st.is_center then center_send st ~neighbors
+    else if st.holding = [] then (st, [])
+    else if float_of_int (Array.length neighbors) >= st.gamma then
+      high_degree_send st ~neighbors
+    else low_degree_send st ~neighbors
+
+  let receive st ~round:_ ~neighbors:_ ~inbox =
+    List.fold_left
+      (fun st (u, msg) ->
+        match msg with
+        | Payload.Walk_msg tok -> { st with holding = tok :: st.holding }
+        | Payload.Center_announce ->
+            { st with known_centers = NSet.add u st.known_centers }
+        | Payload.Token_msg _ | Payload.Completeness _ | Payload.Request _ ->
+            st)
+      st inbox
+
+  (* Progress for this phase = tokens already parked at centers. *)
+  let progress st = if st.is_center then List.length st.holding else 0
+end
+
+let protocol =
+  (module P : Engine.Runner_unicast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ~instance ~centers ~gamma ~seed =
+  let n = Instance.n instance in
+  if Array.length centers <> n then
+    invalid_arg "Rw_phase.init: centers array has wrong length";
+  if not (Array.exists Fun.id centers) then
+    invalid_arg "Rw_phase.init: at least one center required";
+  let master = Dynet.Rng.make ~seed in
+  Array.init n (fun v ->
+      {
+        me = v;
+        n;
+        is_center = centers.(v);
+        holding = Instance.tokens_of instance v;
+        known_centers = NSet.empty;
+        announced = NSet.empty;
+        gamma;
+        rng = Dynet.Rng.split master;
+      })

@@ -1,0 +1,54 @@
+(** Phase 1 of Algorithm 2: random walks gathering the tokens at the
+    centers (Section 3.2.2).
+
+    Every token performs a lazy random walk on the virtual [n]-regular
+    multigraph obtained by padding each node's degree with self-loops:
+    at a {e low-degree} node [v] (degree [< γ]), each held token moves
+    to a uniformly random neighbor with probability [deg(v)/n] and
+    stays put otherwise (a self-loop step — free, it costs no message).
+    At most one token crosses an edge per round in a given direction
+    (the bandwidth constraint); tokens that lose the edge lottery are
+    passive for the round.  A {e high-degree} node (degree [≥ γ],
+    [γ = n·log n / f]) instead hands held tokens directly to its
+    neighboring centers, one per center per round — with [f] uniformly
+    random centers, a node of degree [≥ γ] has a center neighbor w.h.p.
+
+    Tokens {e move} rather than copy, so token instances are conserved:
+    at any time each uid is held by exactly one node (an invariant the
+    test-suite checks).  A token that reaches a center stops: centers
+    never forward.
+
+    Centers announce themselves to each newly met neighbor once; these
+    [Center]-class messages are accounted separately (the paper does
+    not charge for them; under the adversary-competitive measure they
+    are dominated by [TC]). *)
+
+type state
+
+val protocol :
+  (module Engine.Runner_unicast.PROTOCOL
+     with type state = state
+      and type msg = Payload.t)
+
+val init :
+  instance:Instance.t ->
+  centers:bool array ->
+  gamma:float ->
+  seed:int ->
+  state array
+(** [centers.(v)] marks node [v] a center; [gamma] is the high-degree
+    threshold.
+    @raise Invalid_argument if the array length differs from [n] or no
+    node is a center (a walk could then never stop). *)
+
+val is_center : state -> bool
+
+val holding : state -> Token.t list
+(** Tokens currently held (walking, or owned if a center). *)
+
+val settled : state array -> bool
+(** Whether every token has reached a center. *)
+
+val collected : state array -> (Dynet.Node_id.t * Token.t list) list
+(** Per-center token holdings (phase 2's sources), increasing node
+    order; tokens in uid order. *)

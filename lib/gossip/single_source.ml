@@ -1,0 +1,225 @@
+module IMap = Map.Make (Int)
+module NSet = Dynet.Node_id.Set
+module NMap = Dynet.Node_id.Map
+
+(* Per-adjacent-edge history, kept only for currently present edges.
+   [inserted_at] is the round the current presence run started (as
+   observed locally); [contributed] records whether a new token crossed
+   the edge since that insertion. *)
+type edge_info = { inserted_at : int; contributed : bool }
+
+type priority = Paper_priority | Reversed_priority | No_priority
+type config = { priority : priority; dedup_pending : bool }
+
+let default_config = { priority = Paper_priority; dedup_pending = true }
+
+type state = {
+  me : Dynet.Node_id.t;
+  config : config;
+  source : Dynet.Node_id.t;
+  k : int option;  (* learned from the first completeness announcement *)
+  known : Token.t IMap.t;  (* by idx *)
+  complete : bool;
+  informed : NSet.t;  (* R_v: whom I told about my completeness *)
+  known_complete : NSet.t;  (* S_v: who told me about theirs *)
+  edges : edge_info NMap.t;
+  pending : (Dynet.Node_id.t * int) list;  (* requests sent last round *)
+  to_serve : (Dynet.Node_id.t * int) list;  (* requests received last round *)
+  requests_sent : int;
+}
+
+let is_complete st = st.complete
+let known_count st = IMap.cardinal st.known
+
+let all_complete ~k states =
+  Array.for_all (fun st -> known_count st >= k) states
+
+let requests_sent st = st.requests_sent
+
+(* Refresh the edge map against this round's neighbor set: departed
+   edges are forgotten (a re-insertion starts a fresh run), arrivals
+   are stamped with the current round. *)
+let refresh_edges st ~round ~neighbors =
+  let edges =
+    Array.fold_left
+      (fun acc w ->
+        match NMap.find_opt w st.edges with
+        | Some info -> NMap.add w info acc
+        | None -> NMap.add w { inserted_at = round; contributed = false } acc)
+      NMap.empty neighbors
+  in
+  { st with edges }
+
+type category = New | Idle | Contributive
+
+let categorize ~round info =
+  if info.inserted_at >= round - 1 then New
+  else if info.contributed then Contributive
+  else Idle
+
+let complete_send st ~neighbors =
+  let msgs = ref [] in
+  let informed = ref st.informed in
+  let k = Option.get st.k in
+  Array.iter
+    (fun w ->
+      if not (NSet.mem w !informed) then begin
+        informed := NSet.add w !informed;
+        msgs := (w, Payload.Completeness { source = st.source; count = k }) :: !msgs
+      end
+      else
+        match List.assoc_opt w st.to_serve with
+        | Some idx ->
+            let tok = IMap.find idx st.known in
+            msgs := (w, Payload.Token_msg tok) :: !msgs
+        | None -> ())
+    neighbors;
+  ({ st with informed = !informed; to_serve = []; pending = [] }, List.rev !msgs)
+
+let incomplete_send st ~round ~neighbors =
+  match st.k with
+  | None -> ({ st with pending = []; to_serve = [] }, [])
+  | Some k ->
+      let neighbor_set =
+        Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
+      in
+      (* Tokens requested last round whose edge survived will arrive at
+         the end of this round; do not re-request them (Algorithm 1's
+         redundancy avoidance — ablatable). *)
+      let arriving =
+        if not st.config.dedup_pending then []
+        else
+          List.filter_map
+            (fun (w, idx) ->
+              if NSet.mem w neighbor_set then Some idx else None)
+            st.pending
+      in
+      let missing =
+        List.init k (fun idx -> idx)
+        |> List.filter (fun idx ->
+               (not (IMap.mem idx st.known)) && not (List.mem idx arriving))
+      in
+      (* Eligible edges lead to known-complete neighbors; the paper's
+         priority order is new > idle > contributive. *)
+      let eligible =
+        Array.to_list neighbors
+        |> List.filter (fun w -> NSet.mem w st.known_complete)
+        |> List.map (fun w -> (w, categorize ~round (NMap.find w st.edges)))
+      in
+      let in_category c =
+        List.filter_map (fun (w, cat) -> if cat = c then Some w else None)
+          eligible
+      in
+      let ordered =
+        match st.config.priority with
+        | Paper_priority ->
+            in_category New @ in_category Idle @ in_category Contributive
+        | Reversed_priority ->
+            in_category Contributive @ in_category Idle @ in_category New
+        | No_priority -> List.map fst eligible
+      in
+      let rec assign acc = function
+        | [], _ | _, [] -> List.rev acc
+        | idx :: missing, w :: edges -> assign ((w, idx) :: acc) (missing, edges)
+      in
+      let requests = assign [] (missing, ordered) in
+      let msgs =
+        List.map
+          (fun (w, idx) -> (w, Payload.Request { source = st.source; idx }))
+          requests
+      in
+      ( {
+          st with
+          pending = requests;
+          to_serve = [];
+          requests_sent = st.requests_sent + List.length requests;
+        },
+        msgs )
+
+let learn st (tok : Token.t) ~from ~k_hint =
+  if IMap.mem tok.idx st.known then st
+  else begin
+    let known = IMap.add tok.idx tok st.known in
+    let edges =
+      match NMap.find_opt from st.edges with
+      | Some info -> NMap.add from { info with contributed = true } st.edges
+      | None -> st.edges
+    in
+    let k = match st.k with Some _ as k -> k | None -> k_hint in
+    let complete =
+      match k with Some k -> IMap.cardinal known = k | None -> false
+    in
+    { st with known; edges; k; complete }
+  end
+
+module P = struct
+  type nonrec state = state
+  type msg = Payload.t
+
+  let classify = Payload.classify
+
+  let send st ~round ~neighbors =
+    let st = refresh_edges st ~round ~neighbors in
+    if st.complete then complete_send st ~neighbors
+    else incomplete_send st ~round ~neighbors
+
+  let receive st ~round:_ ~neighbors:_ ~inbox =
+    List.fold_left
+      (fun st (u, msg) ->
+        match msg with
+        | Payload.Completeness { source = _; count } ->
+            let st =
+              { st with known_complete = NSet.add u st.known_complete }
+            in
+            (match st.k with
+            | Some k ->
+                assert (k = count);
+                st
+            | None -> { st with k = Some count })
+        | Payload.Token_msg tok -> learn st tok ~from:u ~k_hint:None
+        | Payload.Request { source = _; idx } ->
+            if st.complete then { st with to_serve = (u, idx) :: st.to_serve }
+            else st
+        | Payload.Walk_msg _ | Payload.Center_announce -> st)
+      st inbox
+
+  let progress st = known_count st
+end
+
+let protocol =
+  (module P : Engine.Runner_unicast.PROTOCOL
+    with type state = state
+     and type msg = Payload.t)
+
+let init ?(config = default_config) ~instance () =
+  (match Instance.sources instance with
+  | [ _ ] -> ()
+  | _ -> invalid_arg "Single_source.init: instance must have exactly one source");
+  let source = List.hd (Instance.sources instance) in
+  let k = Instance.k instance in
+  Array.init (Instance.n instance) (fun v ->
+      let base =
+        {
+          me = v;
+          config;
+          source;
+          k = None;
+          known = IMap.empty;
+          complete = false;
+          informed = NSet.empty;
+          known_complete = NSet.empty;
+          edges = NMap.empty;
+          pending = [];
+          to_serve = [];
+          requests_sent = 0;
+        }
+      in
+      if v = source then
+        let known =
+          List.fold_left
+            (fun acc (tok : Token.t) -> IMap.add tok.idx tok acc)
+            IMap.empty
+            (Instance.tokens_of instance v)
+        in
+        { base with k = Some k; known; complete = true }
+      else base)

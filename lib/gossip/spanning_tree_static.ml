@@ -1,0 +1,40 @@
+type result = {
+  control_messages : int;
+  token_messages : int;
+  total_messages : int;
+  rounds : int;
+  amortized : float;
+}
+
+let run ~graph ~instance ~root =
+  let n = Dynet.Graph.n graph in
+  if n <> Instance.n instance then
+    invalid_arg "Spanning_tree_static.run: node counts disagree";
+  if root < 0 || root >= n then
+    invalid_arg "Spanning_tree_static.run: root out of range";
+  if not (Dynet.Graph.is_connected graph) then
+    invalid_arg "Spanning_tree_static.run: graph must be connected";
+  let k = Instance.k instance in
+  let dist = Dynet.Graph.distances graph root in
+  let depth = Array.fold_left max 0 dist in
+  let m = Dynet.Graph.edge_count graph in
+  (* KT0 construction: a probe both ways on every edge, then one join
+     message per tree edge. *)
+  let control_messages = (2 * m) + (n - 1) in
+  let upcast =
+    List.fold_left
+      (fun acc (tok : Token.t) -> acc + dist.(tok.src))
+      0
+      (Instance.all_tokens instance)
+  in
+  let downcast = k * (n - 1) in
+  let token_messages = upcast + downcast in
+  let total_messages = control_messages + token_messages in
+  let rounds = 2 * (depth + k) in
+  {
+    control_messages;
+    token_messages;
+    total_messages;
+    rounds;
+    amortized = float_of_int total_messages /. float_of_int k;
+  }

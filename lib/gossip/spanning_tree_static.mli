@@ -1,0 +1,34 @@
+(** The static-network baseline of Section 1.
+
+    On a static graph, token dissemination costs O(n² + nk) messages —
+    O(n²) to build a spanning tree without prior neighbor knowledge
+    (KT0; [34] shows Ω(n²) is unavoidable on dense graphs) and O(nk) to
+    pipeline the tokens over tree edges — i.e. O(n²/k + n) amortized,
+    which is the optimal O(n) once k = Ω(n).  This is the yardstick the
+    paper's dynamic-network results are measured against.
+
+    The execution is computed directly on the (static) graph rather
+    than via the round engines:
+
+    - tree construction: a BFS tree from the root; every node sends one
+      probe to each neighbor and one join/ack per tree edge, charged as
+      [2m + (n-1)] [Control] messages;
+    - upcast: each token travels from its initial holder to the root
+      along tree paths — [depth(holder)] token messages each;
+    - downcast: each token is forwarded once over every tree edge —
+      [n-1] token messages each;
+    - rounds: the pipelined schedule [O(D + k)] for each direction,
+      reported as [2·(D + k)] with [D] the BFS depth. *)
+
+type result = {
+  control_messages : int;  (** Tree-construction cost. *)
+  token_messages : int;  (** Upcast + downcast token copies. *)
+  total_messages : int;
+  rounds : int;
+  amortized : float;  (** [total_messages / k]. *)
+}
+
+val run :
+  graph:Dynet.Graph.t -> instance:Instance.t -> root:Dynet.Node_id.t -> result
+(** @raise Invalid_argument if the graph is disconnected, node counts
+    disagree, or the root is out of range. *)

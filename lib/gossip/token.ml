@@ -1,0 +1,30 @@
+type t = { src : Dynet.Node_id.t; idx : int; uid : int }
+
+let make ~src ~idx ~uid =
+  if idx < 0 then invalid_arg "Token.make: negative idx";
+  if uid < 0 then invalid_arg "Token.make: negative uid";
+  { src; idx; uid }
+
+let relabel t ~src ~idx = make ~src ~idx ~uid:t.uid
+
+let compare a b =
+  let c = Dynet.Node_id.compare a.src b.src in
+  if c <> 0 then c else Int.compare a.idx b.idx
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "tok(%a.%d#%d)" Dynet.Node_id.pp t.src t.idx t.uid
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)
+
+let uids s =
+  Set.fold (fun t acc -> t.uid :: acc) s []
+  |> List.sort_uniq Int.compare

@@ -1,0 +1,36 @@
+(** Tokens: the k pieces of information to disseminate.
+
+    A token has two independent identities:
+
+    - [uid] — its immutable global identity in [0 .. k-1].  Correctness
+      (Definition 1.2: every node ends up with all [k] tokens) and the
+      token-learning count (Definition 1.4) are defined on uids.
+    - [(src, idx)] — its {e catalog entry}: which source node is
+      responsible for disseminating it and its index among that
+      source's tokens.  This is the label the paper's algorithms use:
+      the single source labels its tokens [1..k] (Section 3.1), each
+      source [x] labels its own [⟨ID_x, i⟩] (Section 3.2), and phase 2
+      of Algorithm 2 {e relabels} the tokens under the centers that
+      collected them.  Requests and completeness announcements refer to
+      catalog entries; the uid rides along as payload. *)
+
+type t = { src : Dynet.Node_id.t; idx : int; uid : int }
+
+val make : src:Dynet.Node_id.t -> idx:int -> uid:int -> t
+(** @raise Invalid_argument on negative [idx] or [uid]. *)
+
+val relabel : t -> src:Dynet.Node_id.t -> idx:int -> t
+(** Same uid, new catalog entry (phase-2 handoff to a center). *)
+
+val compare : t -> t -> int
+(** Orders by catalog entry [(src, idx)]; uid is determined by it
+    within one instance. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val uids : Set.t -> int list
+(** Sorted distinct uids of a set. *)

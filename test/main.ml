@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "dynspread"
+    [
+      ("dynet", Test_dynet.suite);
+      ("engine", Test_engine.suite);
+      ("adversary", Test_adversary.suite);
+      ("gossip", Test_gossip.suite);
+      ("protocols", Test_protocols.suite);
+      ("random-walk", Test_rw.suite);
+      ("analysis", Test_analysis.suite);
+      ("coding", Test_coding.suite);
+      ("conformance", Test_conformance.suite);
+      ("leader-election", Test_leader.suite);
+      ("weak-adversary", Test_weak.suite);
+    ]

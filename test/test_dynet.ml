@@ -1,0 +1,508 @@
+(* Unit and property tests for the dynamic-graph substrate. *)
+
+open Dynet
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* {2 Node_id / Edge} *)
+
+let test_node_id_basics () =
+  check Alcotest.int "of_int round-trips" 7 (Node_id.to_int (Node_id.of_int 7));
+  check Alcotest.bool "equal" true (Node_id.equal 3 3);
+  check (Alcotest.list Alcotest.int) "all" [ 0; 1; 2 ] (Node_id.all ~n:3);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Node_id.of_int: negative identifier") (fun () ->
+      ignore (Node_id.of_int (-1)))
+
+let test_edge_canonical () =
+  let e = Edge.make 5 2 in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "canonical order" (2, 5)
+    (Edge.endpoints e);
+  check Alcotest.bool "equal regardless of direction" true
+    (Edge.equal (Edge.make 2 5) (Edge.make 5 2));
+  check Alcotest.int "other" 5 (Edge.other e 2);
+  check Alcotest.int "other, reversed" 2 (Edge.other e 5);
+  check Alcotest.bool "incident" true (Edge.incident e 5);
+  check Alcotest.bool "not incident" false (Edge.incident e 3)
+
+let test_edge_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Edge.make: self-loop")
+    (fun () -> ignore (Edge.make 4 4))
+
+let test_edge_other_rejects_stranger () =
+  Alcotest.check_raises "stranger"
+    (Invalid_argument "Edge.other: node not incident to edge") (fun () ->
+      ignore (Edge.other (Edge.make 1 2) 3))
+
+(* {2 Edge_set} *)
+
+let edge_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> if a = b then Edge.make a (b + 1) else Edge.make a b)
+      (int_bound 20) (int_bound 20))
+
+let edge_arb = QCheck.make ~print:(Format.asprintf "%a" Edge.pp) edge_gen
+
+let edge_list_arb = QCheck.list_of_size QCheck.Gen.(int_bound 30) edge_arb
+
+let prop_edge_set_union_diff =
+  QCheck.Test.make ~name:"edge_set: (a ∪ b) \\ b ⊆ a" ~count:200
+    (QCheck.pair edge_list_arb edge_list_arb)
+    (fun (la, lb) ->
+      let a = Edge_set.of_list la and b = Edge_set.of_list lb in
+      Edge_set.subset (Edge_set.diff (Edge_set.union a b) b) a)
+
+let prop_edge_set_inter_subset =
+  QCheck.Test.make ~name:"edge_set: a ∩ b ⊆ a and ⊆ b" ~count:200
+    (QCheck.pair edge_list_arb edge_list_arb)
+    (fun (la, lb) ->
+      let a = Edge_set.of_list la and b = Edge_set.of_list lb in
+      let i = Edge_set.inter a b in
+      Edge_set.subset i a && Edge_set.subset i b)
+
+let prop_edge_set_cardinal =
+  QCheck.Test.make ~name:"edge_set: |a| + |b| = |a ∪ b| + |a ∩ b|" ~count:200
+    (QCheck.pair edge_list_arb edge_list_arb)
+    (fun (la, lb) ->
+      let a = Edge_set.of_list la and b = Edge_set.of_list lb in
+      Edge_set.cardinal a + Edge_set.cardinal b
+      = Edge_set.cardinal (Edge_set.union a b)
+        + Edge_set.cardinal (Edge_set.inter a b))
+
+let test_edge_set_incident () =
+  let s = Edge_set.of_list [ Edge.make 0 1; Edge.make 1 2; Edge.make 2 3 ] in
+  check Alcotest.int "incident_to 1" 2 (List.length (Edge_set.incident_to 1 s));
+  check Alcotest.int "incident_to 3" 1 (List.length (Edge_set.incident_to 3 s));
+  check Alcotest.int "incident_to 9" 0 (List.length (Edge_set.incident_to 9 s))
+
+(* {2 Union_find} *)
+
+let test_union_find_basics () =
+  let uf = Union_find.create 5 in
+  check Alcotest.int "initial components" 5 (Union_find.count uf);
+  check Alcotest.bool "union merges" true (Union_find.union uf 0 1);
+  check Alcotest.bool "re-union is no-op" false (Union_find.union uf 1 0);
+  check Alcotest.int "count after one union" 4 (Union_find.count uf);
+  check Alcotest.bool "same" true (Union_find.same uf 0 1);
+  check Alcotest.bool "not same" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 2);
+  check Alcotest.int "chained" 2 (Union_find.count uf);
+  check Alcotest.bool "transitively same" true (Union_find.same uf 0 3)
+
+let test_union_find_components () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 3 4);
+  let comps = Union_find.components uf in
+  check Alcotest.int "three components" 3 (List.length comps);
+  let sizes = List.map List.length comps |> List.sort Int.compare in
+  check (Alcotest.list Alcotest.int) "sizes" [ 1; 2; 3 ] sizes;
+  check Alcotest.int "representatives" 3
+    (List.length (Union_find.representatives uf))
+
+let test_union_find_copy_isolated () =
+  let uf = Union_find.create 4 in
+  ignore (Union_find.union uf 0 1);
+  let clone = Union_find.copy uf in
+  ignore (Union_find.union clone 2 3);
+  check Alcotest.int "original untouched" 3 (Union_find.count uf);
+  check Alcotest.int "clone advanced" 2 (Union_find.count clone)
+
+let prop_union_find_count_matches_representatives =
+  QCheck.Test.make ~name:"union_find: count = |representatives|" ~count:100
+    (QCheck.list_of_size
+       QCheck.Gen.(int_bound 40)
+       (QCheck.pair (QCheck.int_bound 19) (QCheck.int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter
+        (fun (a, b) -> if a <> b then ignore (Union_find.union uf a b))
+        pairs;
+      Union_find.count uf = List.length (Union_find.representatives uf))
+
+(* {2 Graph} *)
+
+let test_graph_adjacency_sorted () =
+  let g =
+    Graph.make ~n:5
+      (Edge_set.of_list [ Edge.make 0 4; Edge.make 0 2; Edge.make 0 1 ])
+  in
+  check (Alcotest.array Alcotest.int) "sorted neighbors" [| 1; 2; 4 |]
+    (Graph.neighbors g 0);
+  check Alcotest.int "degree" 3 (Graph.degree g 0);
+  check Alcotest.int "max degree" 3 (Graph.max_degree g);
+  check Alcotest.bool "mem_edge" true (Graph.mem_edge g 2 0);
+  check Alcotest.bool "no self edge" false (Graph.mem_edge g 0 0)
+
+let test_graph_rejects_out_of_range () =
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Graph.make: edge endpoint 5 out of range (n=4)")
+    (fun () ->
+      ignore (Graph.make ~n:4 (Edge_set.singleton (Edge.make 2 5))))
+
+let test_graph_bfs_path () =
+  let g = Graph_gen.path ~n:6 in
+  let dist = Graph.distances g 0 in
+  check (Alcotest.array Alcotest.int) "path distances" [| 0; 1; 2; 3; 4; 5 |]
+    dist;
+  check Alcotest.int "diameter" 5 (Graph.diameter g);
+  check Alcotest.int "eccentricity of middle" 3 (Graph.eccentricity g 2);
+  let parents = Graph.bfs_tree g 0 in
+  check Alcotest.bool "root has no parent" true (parents.(0) = None);
+  check Alcotest.bool "chain parents" true (parents.(3) = Some 2)
+
+let test_graph_components () =
+  let g =
+    Graph.make ~n:6 (Edge_set.of_list [ Edge.make 0 1; Edge.make 2 3 ])
+  in
+  check Alcotest.int "components" 4 (Graph.component_count g);
+  check Alcotest.bool "not connected" false (Graph.is_connected g);
+  let extra = Graph.connect_components g in
+  check Alcotest.int "minimum connectors" 3 (Edge_set.cardinal extra);
+  let joined = Graph.union g (Graph.make ~n:6 extra) in
+  check Alcotest.bool "now connected" true (Graph.is_connected joined)
+
+let test_graph_empty_connected_conventions () =
+  check Alcotest.bool "single node is connected" true
+    (Graph.is_connected (Graph.empty ~n:1));
+  check Alcotest.bool "empty node set is connected" true
+    (Graph.is_connected (Graph.empty ~n:0));
+  check Alcotest.bool "two isolated nodes are not" false
+    (Graph.is_connected (Graph.empty ~n:2))
+
+let test_graph_spanning_forest () =
+  let g = Graph_gen.clique ~n:6 in
+  let forest = Graph.spanning_forest g in
+  check Alcotest.int "tree size" 5 (Edge_set.cardinal forest);
+  check Alcotest.bool "forest spans" true
+    (Graph.is_connected (Graph.make ~n:6 forest))
+
+let test_graph_diameter_disconnected_raises () =
+  Alcotest.check_raises "diameter of disconnected"
+    (Invalid_argument "Graph.diameter: disconnected graph") (fun () ->
+      ignore (Graph.diameter (Graph.empty ~n:3)))
+
+(* {2 Graph generators} *)
+
+let sizes = [ 1; 2; 3; 5; 8; 17; 32 ]
+
+let test_generators_connected () =
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun n ->
+          let g = gen (Rng.make ~seed:(n * 31)) ~n in
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "%s n=%d connected" name n)
+            true (Graph.is_connected g);
+          Alcotest.check Alcotest.int
+            (Printf.sprintf "%s n=%d node count" name n)
+            n (Graph.n g))
+        sizes)
+    Graph_gen.all_named
+
+let test_specific_shapes () =
+  check Alcotest.int "path edges" 9 (Graph.edge_count (Graph_gen.path ~n:10));
+  check Alcotest.int "cycle edges" 10 (Graph.edge_count (Graph_gen.cycle ~n:10));
+  check Alcotest.int "star edges" 9 (Graph.edge_count (Graph_gen.star ~n:10));
+  check Alcotest.int "clique edges" 45
+    (Graph.edge_count (Graph_gen.clique ~n:10));
+  check Alcotest.int "star hub degree" 9
+    (Graph.degree (Graph_gen.star ~n:10) 0);
+  check Alcotest.int "tree edges" 15
+    (Graph.edge_count (Graph_gen.random_tree (Rng.make ~seed:1) ~n:16));
+  check Alcotest.int "barbell bridge" 2
+    (Graph.component_count
+       (Graph.make ~n:10
+          (Edge_set.remove (Edge.make 4 5)
+             (Graph.edges (Graph_gen.barbell ~n:10)))))
+
+let test_grid_and_hypercube_shapes () =
+  (* 3x3 grid: 12 edges, diameter 4. *)
+  let g = Graph_gen.grid ~n:9 in
+  check Alcotest.int "grid edges" 12 (Graph.edge_count g);
+  check Alcotest.int "grid diameter" 4 (Graph.diameter g);
+  (* Ragged grid keeps exactly n nodes connected. *)
+  let g7 = Graph_gen.grid ~n:7 in
+  check Alcotest.bool "ragged grid connected" true (Graph.is_connected g7);
+  (* Q3: 12 edges, every degree 3, diameter 3. *)
+  let h = Graph_gen.hypercube ~n:8 in
+  check Alcotest.int "hypercube edges" 12 (Graph.edge_count h);
+  check Alcotest.int "hypercube diameter" 3 (Graph.diameter h);
+  for v = 0 to 7 do
+    Alcotest.check Alcotest.int "cube degree" 3 (Graph.degree h v)
+  done;
+  (* Non-power-of-two: leftovers hang off the cube. *)
+  let h10 = Graph_gen.hypercube ~n:10 in
+  check Alcotest.bool "padded hypercube connected" true (Graph.is_connected h10);
+  check Alcotest.int "padded node count" 10 (Graph.n h10)
+
+let prop_random_tree_is_tree =
+  QCheck.Test.make ~name:"random_tree: n-1 edges and connected" ~count:60
+    (QCheck.int_range 2 60)
+    (fun n ->
+      let g = Graph_gen.random_tree (Rng.make ~seed:n) ~n in
+      Graph.edge_count g = n - 1 && Graph.is_connected g)
+
+let prop_random_connected_connected =
+  QCheck.Test.make ~name:"random_connected: connected for any p" ~count:60
+    (QCheck.pair (QCheck.int_range 2 40) (QCheck.float_bound_inclusive 1.))
+    (fun (n, p) ->
+      Graph.is_connected (Graph_gen.random_connected (Rng.make ~seed:n) ~n ~p))
+
+let prop_regularish_degree_bounds =
+  QCheck.Test.make ~name:"random_regularish: degrees within [2, d+2]"
+    ~count:40
+    (QCheck.pair (QCheck.int_range 4 40) (QCheck.int_range 2 6))
+    (fun (n, d) ->
+      let g = Graph_gen.random_regularish (Rng.make ~seed:(n + d)) ~n ~d in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let deg = Graph.degree g v in
+        if deg < 1 || deg > d + 2 then ok := false
+      done;
+      !ok && Graph.is_connected g)
+
+(* {2 Dyn_seq} *)
+
+let test_dyn_seq_deltas_and_tc () =
+  let g1 = Graph.make ~n:4 (Edge_set.of_list [ Edge.make 0 1; Edge.make 1 2; Edge.make 2 3 ]) in
+  let g2 = Graph.make ~n:4 (Edge_set.of_list [ Edge.make 0 1; Edge.make 1 3; Edge.make 2 3 ]) in
+  let g3 = g1 in
+  let seq = Dyn_seq.of_graphs [ g1; g2; g3 ] in
+  check Alcotest.int "length" 3 (Dyn_seq.length seq);
+  check Alcotest.int "round-1 insertions = its edges" 3
+    (Edge_set.cardinal (Dyn_seq.insertions seq 1));
+  check Alcotest.int "round-2 insertions" 1
+    (Edge_set.cardinal (Dyn_seq.insertions seq 2));
+  check Alcotest.int "round-2 removals" 1
+    (Edge_set.cardinal (Dyn_seq.removals seq 2));
+  check Alcotest.int "tc" 5 (Dyn_seq.tc seq);
+  check Alcotest.int "removals total" 2 (Dyn_seq.total_removals seq);
+  check Alcotest.bool "removals <= tc" true
+    (Dyn_seq.total_removals seq <= Dyn_seq.tc seq);
+  check Alcotest.bool "all rounds connected" true (Dyn_seq.all_connected seq)
+
+let test_dyn_seq_stability_predicate () =
+  let e01 = Edge.make 0 1 and e12 = Edge.make 1 2 and e02 = Edge.make 0 2 in
+  let tri = Graph.make ~n:3 (Edge_set.of_list [ e01; e12; e02 ]) in
+  let no02 = Graph.make ~n:3 (Edge_set.of_list [ e01; e12 ]) in
+  (* e02 present exactly one round in the middle: 1-stable only. *)
+  let seq = Dyn_seq.of_graphs [ no02; tri; no02; no02 ] in
+  check Alcotest.bool "1-stable" true (Dyn_seq.is_sigma_stable seq ~sigma:1);
+  check Alcotest.bool "not 2-stable" false (Dyn_seq.is_sigma_stable seq ~sigma:2);
+  (* Two consecutive rounds: 2-stable but not 3-stable. *)
+  let seq2 = Dyn_seq.of_graphs [ no02; tri; tri; no02; no02 ] in
+  check Alcotest.bool "2-stable" true (Dyn_seq.is_sigma_stable seq2 ~sigma:2);
+  check Alcotest.bool "not 3-stable" false (Dyn_seq.is_sigma_stable seq2 ~sigma:3);
+  (* A run truncated by the end of the recording is accepted. *)
+  let seq3 = Dyn_seq.of_graphs [ no02; no02; tri ] in
+  check Alcotest.bool "open run accepted" true
+    (Dyn_seq.is_sigma_stable seq3 ~sigma:3)
+
+let test_dyn_seq_rejects_mixed_sizes () =
+  Alcotest.check_raises "node counts disagree"
+    (Invalid_argument "Dyn_seq.of_graphs: node counts disagree") (fun () ->
+      ignore (Dyn_seq.of_graphs [ Graph.empty ~n:3; Graph.empty ~n:4 ]))
+
+(* {2 Stability transformer} *)
+
+let random_proposals ~seed ~n ~rounds =
+  List.init rounds (fun r ->
+      Graph_gen.random_tree (Rng.make ~seed:(seed + r)) ~n)
+
+let test_stability_enforces_sigma () =
+  let proposals = random_proposals ~seed:9 ~n:12 ~rounds:30 in
+  List.iter
+    (fun sigma ->
+      let out = Stability.transform ~sigma proposals in
+      let seq = Dyn_seq.of_graphs out in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "sigma=%d holds" sigma)
+        true
+        (Dyn_seq.is_sigma_stable seq ~sigma);
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "sigma=%d keeps connectivity" sigma)
+        true (Dyn_seq.all_connected seq))
+    [ 1; 2; 3; 5 ]
+
+let test_stability_superset_of_proposal () =
+  let proposals = random_proposals ~seed:21 ~n:10 ~rounds:20 in
+  let out = Stability.transform ~sigma:3 proposals in
+  List.iter2
+    (fun prop actual ->
+      Alcotest.check Alcotest.bool "proposal ⊆ actual" true
+        (Edge_set.subset (Graph.edges prop) (Graph.edges actual)))
+    proposals out
+
+let test_stability_sigma_one_is_identity () =
+  let proposals = random_proposals ~seed:33 ~n:8 ~rounds:12 in
+  let out = Stability.transform ~sigma:1 proposals in
+  List.iter2
+    (fun prop actual ->
+      Alcotest.check Alcotest.bool "identity" true
+        (Edge_set.equal (Graph.edges prop) (Graph.edges actual)))
+    proposals out
+
+(* {2 Graph_metrics} *)
+
+let test_metrics_degree_stats () =
+  let s = Graph_metrics.degree_stats (Graph_gen.star ~n:8) in
+  check Alcotest.int "min" 1 s.Graph_metrics.min_degree;
+  check Alcotest.int "max" 7 s.Graph_metrics.max_degree;
+  check (Alcotest.float 1e-9) "mean = 2m/n" 1.75 s.Graph_metrics.mean_degree
+
+let test_metrics_clustering () =
+  check (Alcotest.float 1e-9) "clique fully clustered" 1.
+    (Graph_metrics.clustering_coefficient (Graph_gen.clique ~n:6));
+  check (Alcotest.float 1e-9) "tree has no triangles" 0.
+    (Graph_metrics.clustering_coefficient (Graph_gen.star ~n:6));
+  let triangle_plus_tail =
+    Graph.make ~n:4
+      (Edge_set.of_list
+         [ Edge.make 0 1; Edge.make 1 2; Edge.make 0 2; Edge.make 2 3 ])
+  in
+  (* Nodes 0 and 1: coefficient 1; node 2: 1/3; node 3: degree 1 -> 0. *)
+  check (Alcotest.float 1e-9) "mixed graph" ((1. +. 1. +. (1. /. 3.)) /. 4.)
+    (Graph_metrics.clustering_coefficient triangle_plus_tail)
+
+let test_metrics_mean_distance () =
+  check (Alcotest.float 1e-9) "clique distance 1" 1.
+    (Graph_metrics.mean_distance (Graph_gen.clique ~n:5));
+  (* Path 0-1-2: distances 1,2,1,1,2,1 over 6 ordered pairs. *)
+  check (Alcotest.float 1e-9) "path of 3" (8. /. 6.)
+    (Graph_metrics.mean_distance (Graph_gen.path ~n:3))
+
+let test_metrics_churn () =
+  let g = Graph_gen.cycle ~n:8 in
+  let static_seq = Dyn_seq.of_graphs [ g; g; g; g ] in
+  let c = Graph_metrics.churn_stats static_seq in
+  check Alcotest.int "tc = first round" 8 c.Graph_metrics.tc;
+  check (Alcotest.float 1e-9) "no steady churn" 0.
+    c.Graph_metrics.insertions_per_round;
+  check (Alcotest.float 1e-9) "zero turnover" 0. c.Graph_metrics.turnover;
+  let rotating =
+    Dyn_seq.of_graphs
+      (List.init 6 (fun r -> Graph_gen.random_tree (Rng.make ~seed:r) ~n:8))
+  in
+  let c2 = Graph_metrics.churn_stats rotating in
+  check Alcotest.bool "rotation churns" true
+    (c2.Graph_metrics.turnover > 0.3)
+
+(* {2 Export} *)
+
+let test_export_dot () =
+  let dot = Export.to_dot ~name:"demo" (Graph_gen.path ~n:3) in
+  check Alcotest.bool "header" true
+    (String.length dot > 0 && String.sub dot 0 10 = "graph demo");
+  check Alcotest.bool "edge 0--1" true
+    (Astring.String.is_infix ~affix:"0 -- 1;" dot);
+  check Alcotest.bool "edge 1--2" true
+    (Astring.String.is_infix ~affix:"1 -- 2;" dot);
+  check Alcotest.bool "no 0--2" false
+    (Astring.String.is_infix ~affix:"0 -- 2;" dot)
+
+let test_export_seq_csv () =
+  let g1 = Graph_gen.path ~n:3 and g2 = Graph_gen.cycle ~n:3 in
+  let csv = Export.seq_to_csv (Dyn_seq.of_graphs [ g1; g2 ]) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check Alcotest.int "header + 2 rounds" 3 (List.length lines);
+  check Alcotest.string "round 1" "1,2,2,0,true" (List.nth lines 1);
+  check Alcotest.string "round 2" "2,3,1,0,true" (List.nth lines 2)
+
+(* {2 Rng} *)
+
+let test_rng_determinism () =
+  let a = Rng.make ~seed:5 and b = Rng.make ~seed:5 in
+  let da = List.init 20 (fun _ -> Rng.int a 1000) in
+  let db = List.init 20 (fun _ -> Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" da db
+
+let test_rng_split_independence () =
+  let parent = Rng.make ~seed:5 in
+  let child = Rng.split parent in
+  let child_draws = List.init 5 (fun _ -> Rng.int child 1000) in
+  (* Replaying the parent gives the same child. *)
+  let parent2 = Rng.make ~seed:5 in
+  let child2 = Rng.split parent2 in
+  let child2_draws = List.init 5 (fun _ -> Rng.int child2 1000) in
+  check (Alcotest.list Alcotest.int) "split deterministic" child_draws
+    child2_draws
+
+let test_rng_permutation () =
+  let p = Rng.permutation (Rng.make ~seed:3) 50 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  check (Alcotest.array Alcotest.int) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let prop_rng_sample_without_replacement =
+  QCheck.Test.make ~name:"rng: sample_without_replacement distinct sorted"
+    ~count:100
+    (QCheck.pair (QCheck.int_range 0 30) (QCheck.int_range 30 60))
+    (fun (m, n) ->
+      let s = Rng.sample_without_replacement (Rng.make ~seed:(m + n)) m n in
+      List.length s = m
+      && List.for_all (fun x -> x >= 0 && x < n) s
+      && List.sort_uniq Int.compare s = s)
+
+let prop_rng_bernoulli_extremes =
+  QCheck.Test.make ~name:"rng: bernoulli extremes" ~count:50 QCheck.int
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      (not (Rng.bernoulli rng 0.)) && Rng.bernoulli rng 1.)
+
+let suite =
+  [
+    ("node_id basics", `Quick, test_node_id_basics);
+    ("edge canonical form", `Quick, test_edge_canonical);
+    ("edge rejects self-loops", `Quick, test_edge_rejects_self_loop);
+    ("edge other rejects strangers", `Quick, test_edge_other_rejects_stranger);
+    ("edge_set incident_to", `Quick, test_edge_set_incident);
+    qcheck prop_edge_set_union_diff;
+    qcheck prop_edge_set_inter_subset;
+    qcheck prop_edge_set_cardinal;
+    ("union_find basics", `Quick, test_union_find_basics);
+    ("union_find components", `Quick, test_union_find_components);
+    ("union_find copy isolation", `Quick, test_union_find_copy_isolated);
+    qcheck prop_union_find_count_matches_representatives;
+    ("graph adjacency sorted", `Quick, test_graph_adjacency_sorted);
+    ("graph rejects out-of-range", `Quick, test_graph_rejects_out_of_range);
+    ("graph bfs on path", `Quick, test_graph_bfs_path);
+    ("graph components & connectors", `Quick, test_graph_components);
+    ("graph connectivity conventions", `Quick,
+     test_graph_empty_connected_conventions);
+    ("graph spanning forest", `Quick, test_graph_spanning_forest);
+    ("graph diameter raises when disconnected", `Quick,
+     test_graph_diameter_disconnected_raises);
+    ("all generators connected at all sizes", `Quick, test_generators_connected);
+    ("generator shapes", `Quick, test_specific_shapes);
+    ("grid and hypercube shapes", `Quick, test_grid_and_hypercube_shapes);
+    qcheck prop_random_tree_is_tree;
+    qcheck prop_random_connected_connected;
+    qcheck prop_regularish_degree_bounds;
+    ("dyn_seq deltas and TC", `Quick, test_dyn_seq_deltas_and_tc);
+    ("dyn_seq sigma-stability predicate", `Quick,
+     test_dyn_seq_stability_predicate);
+    ("dyn_seq rejects mixed sizes", `Quick, test_dyn_seq_rejects_mixed_sizes);
+    ("stability transform enforces sigma", `Quick, test_stability_enforces_sigma);
+    ("stability output contains proposal", `Quick,
+     test_stability_superset_of_proposal);
+    ("stability sigma=1 is identity", `Quick, test_stability_sigma_one_is_identity);
+    ("metrics: degree stats", `Quick, test_metrics_degree_stats);
+    ("metrics: clustering", `Quick, test_metrics_clustering);
+    ("metrics: mean distance", `Quick, test_metrics_mean_distance);
+    ("metrics: churn", `Quick, test_metrics_churn);
+    ("export: dot", `Quick, test_export_dot);
+    ("export: sequence csv", `Quick, test_export_seq_csv);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng split determinism", `Quick, test_rng_split_independence);
+    ("rng permutation", `Quick, test_rng_permutation);
+    qcheck prop_rng_sample_without_replacement;
+    qcheck prop_rng_bernoulli_extremes;
+  ]

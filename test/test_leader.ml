@@ -1,0 +1,103 @@
+(* Tests for the adversary-competitive leader-election protocol
+   (E13, the paper's Section-4 direction). *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let static_env ~n ~seed =
+  Gossip.Runners.Oblivious
+    (Adversary.Oblivious.static
+       (Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed) ~n ~p:0.2))
+
+let test_elects_on_static_graph () =
+  let n = 16 in
+  let result, states =
+    Gossip.Runners.leader_election ~n ~env:(static_env ~n ~seed:1) ()
+  in
+  check Alcotest.bool "completed" true result.Engine.Run_result.completed;
+  check Alcotest.bool "everyone agrees on n-1" true
+    (Array.for_all (fun st -> Gossip.Leader_election.champion st = n - 1) states)
+
+let test_elects_under_heavy_churn () =
+  let n = 20 in
+  let env =
+    Gossip.Runners.Oblivious (Adversary.Oblivious.tree_rotator ~seed:2 ~n)
+  in
+  let result, states = Gossip.Runners.leader_election ~n ~env () in
+  check Alcotest.bool "completed" true result.Engine.Run_result.completed;
+  check Alcotest.bool "elected" true (Gossip.Leader_election.elected ~n states)
+
+let test_rounds_near_diameter_on_path () =
+  (* On a static path the max id (at one end) must travel n-1 hops:
+     rounds = diameter, not more. *)
+  let n = 12 in
+  let env =
+    Gossip.Runners.Oblivious (Adversary.Oblivious.static (Dynet.Graph_gen.path ~n))
+  in
+  let result, _ = Gossip.Runners.leader_election ~n ~env () in
+  check Alcotest.bool "completed" true result.Engine.Run_result.completed;
+  check Alcotest.int "rounds = n - 1" (n - 1) result.Engine.Run_result.rounds
+
+let test_no_retransmission_when_static_and_settled () =
+  (* Once agreement has propagated on a static graph the network goes
+     silent: after a short catch-up (nodes that improved in the final
+     round still tell already-knowing neighbors once), message totals
+     stop growing — doubling the horizon adds nothing. *)
+  let n = 12 in
+  let run_for max_rounds =
+    let states = Gossip.Leader_election.init ~n in
+    let result, _ =
+      Engine.Runner_unicast.run Gossip.Leader_election.protocol ~states
+        ~adversary:
+          (match static_env ~n ~seed:3 with
+          | Gossip.Runners.Oblivious s -> Adversary.Schedule.unicast s
+          | Gossip.Runners.Request_cutting _ -> assert false)
+        ~max_rounds
+        ~stop:(fun _ -> false)
+        ()
+    in
+    Engine.Ledger.total result.Engine.Run_result.ledger
+  in
+  check Alcotest.int "silence after agreement" (run_for (4 * n))
+    (run_for (8 * n))
+
+let test_improvement_accounting () =
+  let n = 14 in
+  let env = static_env ~n ~seed:4 in
+  let _, states = Gossip.Runners.leader_election ~n ~env () in
+  (* Node n-1 never improves (it starts with the max); every other node
+     improves at least once. *)
+  check Alcotest.int "leader never improves" 0
+    (Gossip.Leader_election.improvements states.(n - 1));
+  Array.iteri
+    (fun v st ->
+      if v <> n - 1 then
+        Alcotest.check Alcotest.bool
+          (Printf.sprintf "node %d improved" v)
+          true
+          (Gossip.Leader_election.improvements st >= 1))
+    states
+
+let prop_elects_on_any_family =
+  QCheck.Test.make ~name:"leader election: elects under every family"
+    ~count:20
+    (QCheck.pair (QCheck.int_range 4 24) QCheck.small_nat)
+    (fun (n, seed) ->
+      let families = Adversary.Oblivious.all_named ~n ~seed in
+      let _, sched = List.nth families (seed mod List.length families) in
+      let result, states =
+        Gossip.Runners.leader_election ~n ~env:(Gossip.Runners.Oblivious sched) ()
+      in
+      result.Engine.Run_result.completed
+      && Gossip.Leader_election.elected ~n states)
+
+let suite =
+  [
+    ("elects on a static graph", `Quick, test_elects_on_static_graph);
+    ("elects under heavy churn", `Quick, test_elects_under_heavy_churn);
+    ("rounds = diameter on a path", `Quick, test_rounds_near_diameter_on_path);
+    ("silent after agreement", `Quick,
+     test_no_retransmission_when_static_and_settled);
+    ("improvement accounting", `Quick, test_improvement_accounting);
+    qcheck prop_elects_on_any_family;
+  ]

@@ -1,0 +1,249 @@
+(* Tests for Algorithm 2: the random-walk gather phase (token
+   conservation, settlement) and the full two-phase pipeline. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let dense_schedule ~seed ~n = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.3
+
+(* {2 Rw_phase} *)
+
+let centers_array ~n marked =
+  let a = Array.make n false in
+  List.iter (fun v -> a.(v) <- true) marked;
+  a
+
+let run_phase1 ~instance ~centers ~gamma ~seed ~schedule ~cap =
+  let states = Gossip.Rw_phase.init ~instance ~centers ~gamma ~seed in
+  Engine.Runner_unicast.run Gossip.Rw_phase.protocol ~states
+    ~adversary:(Adversary.Schedule.unicast schedule)
+    ~max_rounds:cap ~stop:Gossip.Rw_phase.settled ()
+
+let all_held_uids states =
+  Array.to_list states
+  |> List.concat_map (fun st ->
+         Gossip.Rw_phase.holding st
+         |> List.map (fun t -> t.Gossip.Token.uid))
+  |> List.sort Int.compare
+
+let test_rw_phase_conserves_tokens () =
+  let n = 20 and k = 15 in
+  let rng = Dynet.Rng.make ~seed:3 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:8 in
+  let centers = centers_array ~n [ 2; 11; 17 ] in
+  let schedule = dense_schedule ~seed:4 ~n in
+  (* Sample conservation at several horizons (including mid-flight). *)
+  List.iter
+    (fun cap ->
+      let _, states =
+        run_phase1 ~instance ~centers ~gamma:1000. ~seed:5 ~schedule ~cap
+      in
+      Alcotest.check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "uids intact after <=%d rounds" cap)
+        (List.init k Fun.id) (all_held_uids states))
+    [ 1; 5; 25; 400 ]
+
+let test_rw_phase_settles_on_dense_graphs () =
+  let n = 24 and k = 12 in
+  let rng = Dynet.Rng.make ~seed:6 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:6 in
+  let centers = centers_array ~n [ 0; 7; 13; 19 ] in
+  let schedule = dense_schedule ~seed:7 ~n in
+  let result, states =
+    run_phase1 ~instance ~centers ~gamma:1000. ~seed:8 ~schedule ~cap:20000
+  in
+  check Alcotest.bool "settled" true result.Engine.Run_result.completed;
+  check Alcotest.bool "all tokens at centers" true
+    (Gossip.Rw_phase.settled states);
+  (* Everything collected is owned by a center and sums to k. *)
+  let collected = Gossip.Rw_phase.collected states in
+  let total = List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 collected in
+  check Alcotest.int "k tokens collected" k total
+
+let test_rw_phase_tokens_stop_at_centers () =
+  (* A center that starts with tokens keeps them: zero walk messages
+     when the only tokens are at centers. *)
+  let n = 10 and k = 4 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:5 in
+  let centers = centers_array ~n [ 5 ] in
+  let schedule = dense_schedule ~seed:9 ~n in
+  let result, states =
+    run_phase1 ~instance ~centers ~gamma:1000. ~seed:10 ~schedule ~cap:50
+  in
+  check Alcotest.bool "immediately settled" true
+    result.Engine.Run_result.completed;
+  check Alcotest.int "no walk messages" 0
+    (Engine.Ledger.count result.Engine.Run_result.ledger Engine.Msg_class.Walk);
+  check Alcotest.int "center still holds k" k
+    (List.length (Gossip.Rw_phase.holding states.(5)))
+
+let test_rw_phase_high_degree_handoff () =
+  (* gamma = 0 forces the high-degree branch everywhere: tokens go
+     straight to known center neighbors.  On a static star with the hub
+     as source and a leaf center, the token must take hub -> center
+     after the center announcement round. *)
+  let n = 6 and k = 3 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  let centers = centers_array ~n [ 3 ] in
+  let schedule =
+    Adversary.Oblivious.static (Dynet.Graph_gen.star ~n)
+  in
+  let result, states =
+    run_phase1 ~instance ~centers ~gamma:0. ~seed:11 ~schedule ~cap:50
+  in
+  check Alcotest.bool "settled" true result.Engine.Run_result.completed;
+  check Alcotest.int "center holds all" k
+    (List.length (Gossip.Rw_phase.holding states.(3)));
+  (* One walk message per token, no random detours. *)
+  check Alcotest.int "walk messages = k" k
+    (Engine.Ledger.count result.Engine.Run_result.ledger Engine.Msg_class.Walk)
+
+let test_rw_phase_center_announcement_budget () =
+  let n = 16 and k = 8 in
+  let rng = Dynet.Rng.make ~seed:12 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:4 in
+  let centers = centers_array ~n [ 1; 9 ] in
+  let schedule = dense_schedule ~seed:13 ~n in
+  let result, _ =
+    run_phase1 ~instance ~centers ~gamma:1000. ~seed:14 ~schedule ~cap:5000
+  in
+  (* Each center announces to each other node at most once. *)
+  check Alcotest.bool "center announcements <= centers * (n-1)" true
+    (Engine.Ledger.count result.Engine.Run_result.ledger Engine.Msg_class.Center
+    <= 2 * (n - 1))
+
+let test_rw_phase_requires_a_center () =
+  let instance = Gossip.Instance.single_source ~n:4 ~k:2 ~source:0 in
+  Alcotest.check_raises "no centers rejected"
+    (Invalid_argument "Rw_phase.init: at least one center required") (fun () ->
+      ignore
+        (Gossip.Rw_phase.init ~instance ~centers:(Array.make 4 false)
+           ~gamma:10. ~seed:1))
+
+let prop_rw_phase_conservation_random =
+  QCheck.Test.make ~name:"rw phase: token conservation on random runs"
+    ~count:15
+    (QCheck.triple (QCheck.int_range 6 20) (QCheck.int_range 2 15)
+       QCheck.small_nat)
+    (fun (n, k, seed) ->
+      let k = min k n in
+      let rng = Dynet.Rng.make ~seed in
+      let instance =
+        Gossip.Instance.multi_source ~rng ~n ~k ~s:(max 1 (k / 2))
+      in
+      let centers = Array.make n false in
+      centers.(seed mod n) <- true;
+      centers.((seed + 3) mod n) <- true;
+      let schedule = dense_schedule ~seed:(seed + 17) ~n in
+      let _, states =
+        run_phase1 ~instance ~centers ~gamma:(float_of_int (n / 2)) ~seed
+          ~schedule ~cap:60
+      in
+      all_held_uids states = List.init k Fun.id)
+
+(* {2 Full Algorithm 2} *)
+
+let test_oblivious_rw_full_pipeline () =
+  let n = 24 and k = 20 in
+  let rng = Dynet.Rng.make ~seed:20 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:10 in
+  let schedule = dense_schedule ~seed:21 ~n in
+  let r =
+    Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:22 ~const_f:0.15
+      ~force_rw:true ()
+  in
+  check Alcotest.bool "completed" true r.Gossip.Oblivious_rw.completed;
+  check Alcotest.bool "phase 1 ran" false r.Gossip.Oblivious_rw.skipped_phase1;
+  check Alcotest.bool "phase 1 settled" true r.Gossip.Oblivious_rw.phase1_settled;
+  check Alcotest.bool "at least one center" true
+    (r.Gossip.Oblivious_rw.centers >= 1);
+  (* Learnings across both phases reach full dissemination. *)
+  check Alcotest.bool "ledger has walk and token traffic" true
+    (Engine.Ledger.count r.Gossip.Oblivious_rw.ledger Engine.Msg_class.Token > 0);
+  check Alcotest.bool "paper messages exclude center chatter" true
+    (r.Gossip.Oblivious_rw.paper_messages
+    <= Engine.Ledger.total r.Gossip.Oblivious_rw.ledger)
+
+let test_oblivious_rw_threshold_skips_phase1 () =
+  (* Few sources: the paper's Remark says run Multi-Source directly. *)
+  let n = 16 and k = 12 in
+  let rng = Dynet.Rng.make ~seed:30 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:2 in
+  let schedule = dense_schedule ~seed:31 ~n in
+  let r = Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:32 () in
+  check Alcotest.bool "phase 1 skipped" true r.Gossip.Oblivious_rw.skipped_phase1;
+  check Alcotest.bool "completed" true r.Gossip.Oblivious_rw.completed;
+  check Alcotest.int "no walk messages" 0
+    (Engine.Ledger.count r.Gossip.Oblivious_rw.ledger Engine.Msg_class.Walk)
+
+let test_oblivious_rw_capped_phase1_still_completes () =
+  (* Even if phase 1 can't settle (cap 1 round), stragglers become
+     phase-2 sources and dissemination still completes. *)
+  let n = 18 and k = 14 in
+  let rng = Dynet.Rng.make ~seed:40 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:7 in
+  let schedule = dense_schedule ~seed:41 ~n in
+  let r =
+    Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:42 ~const_f:0.1
+      ~force_rw:true ~phase1_cap:1 ()
+  in
+  check Alcotest.bool "phase 1 did not settle" false
+    r.Gossip.Oblivious_rw.phase1_settled;
+  check Alcotest.bool "still completed" true r.Gossip.Oblivious_rw.completed
+
+let test_oblivious_rw_deterministic () =
+  let n = 20 and k = 16 in
+  let rng = Dynet.Rng.make ~seed:50 in
+  let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s:8 in
+  let run () =
+    let schedule = dense_schedule ~seed:51 ~n in
+    let r =
+      Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:52 ~const_f:0.2
+        ~force_rw:true ()
+    in
+    ( Engine.Ledger.total r.Gossip.Oblivious_rw.ledger,
+      r.Gossip.Oblivious_rw.phase1_rounds,
+      r.Gossip.Oblivious_rw.phase2_rounds )
+  in
+  let a = run () and b = run () in
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "reproducible" a b
+
+let prop_oblivious_rw_random =
+  QCheck.Test.make ~name:"algorithm 2: completes on random dense envs"
+    ~count:10
+    (QCheck.pair (QCheck.int_range 10 24) QCheck.small_nat)
+    (fun (n, seed) ->
+      let k = n in
+      let rng = Dynet.Rng.make ~seed:(seed + 60) in
+      let instance =
+        Gossip.Instance.multi_source ~rng ~n ~k ~s:(max 2 (n / 2))
+      in
+      let schedule = dense_schedule ~seed:(seed + 61) ~n in
+      let r =
+        Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:(seed + 62)
+          ~const_f:0.2 ~force_rw:true ()
+      in
+      r.Gossip.Oblivious_rw.completed)
+
+let suite =
+  [
+    ("rw phase: token conservation", `Quick, test_rw_phase_conserves_tokens);
+    ("rw phase: settles on dense graphs", `Quick,
+     test_rw_phase_settles_on_dense_graphs);
+    ("rw phase: tokens stop at centers", `Quick,
+     test_rw_phase_tokens_stop_at_centers);
+    ("rw phase: high-degree handoff", `Quick, test_rw_phase_high_degree_handoff);
+    ("rw phase: center announcement budget", `Quick,
+     test_rw_phase_center_announcement_budget);
+    ("rw phase: requires a center", `Quick, test_rw_phase_requires_a_center);
+    qcheck prop_rw_phase_conservation_random;
+    ("algorithm 2: full pipeline", `Quick, test_oblivious_rw_full_pipeline);
+    ("algorithm 2: source threshold", `Quick,
+     test_oblivious_rw_threshold_skips_phase1);
+    ("algorithm 2: capped phase 1 still completes", `Quick,
+     test_oblivious_rw_capped_phase1_still_completes);
+    ("algorithm 2: deterministic", `Quick, test_oblivious_rw_deterministic);
+    qcheck prop_oblivious_rw_random;
+  ]
