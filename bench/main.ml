@@ -9,7 +9,10 @@
    (useful for tracking simulator performance regressions).
 
    Run with: dune exec bench/main.exe
-   Pass --tables-only or --bechamel-only to run half of it. *)
+   Pass --tables-only or --bechamel-only to run half of it.  Either
+   way a machine-readable summary (micro-benchmark ns/run and, when
+   the tables ran, per-experiment wall-clock) is written to
+   BENCH_results.json (override with --out FILE). *)
 
 open Bechamel
 open Toolkit
@@ -18,10 +21,10 @@ let seed = 42
 
 (* {2 Part 1: the paper's tables and figures} *)
 
-let run_tables () =
+let run_tables ~metrics () =
   print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
   print_newline ();
-  List.iter Analysis.Table.print (Analysis.Experiments.all ~seed ())
+  List.iter Analysis.Table.print (Analysis.Experiments.all ~metrics ~seed ())
 
 (* {2 Part 2: Bechamel micro-benchmarks, one per experiment} *)
 
@@ -196,6 +199,8 @@ let tests =
         (Staged.stage (bench_e14_weak_adversary ()));
     ]
 
+(* Runs the micro-benchmarks, prints the human table, and returns the
+   [(name, ns_per_run)] rows for the JSON summary. *)
 let run_bechamel () =
   print_endline "=== Part 2: Bechamel micro-benchmarks (time per run) ===";
   print_newline ();
@@ -240,11 +245,93 @@ let run_bechamel () =
               else Printf.sprintf "%.0f ns" ns
             in
             [ name; cell ])
-          rows))
+          rows));
+  rows
+
+(* {2 JSON summary + driver} *)
+
+let write_results ~out ~bench_rows ~metrics =
+  let benchmarks =
+    List.map
+      (fun (name, ns) ->
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String name);
+            ( "ns_per_run",
+              if Float.is_nan ns then Obs.Json.Null else Obs.Json.Float ns );
+          ])
+      bench_rows
+  in
+  let experiments =
+    match metrics with
+    | None -> []
+    | Some m ->
+        List.filter_map
+          (fun name ->
+            match Obs.Metrics.summary m name with
+            | Some s ->
+                Some
+                  (Obs.Json.Obj
+                     [
+                       ("name", Obs.Json.String name);
+                       ("seconds", Obs.Json.Float s.Obs.Metrics.sum);
+                     ])
+            | None -> None)
+          (Obs.Metrics.names m)
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "dynspread-bench/v1");
+        ("seed", Obs.Json.Int seed);
+        ("benchmarks", Obs.Json.List benchmarks);
+        ("experiments", Obs.Json.List experiments);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs.Json.to_channel oc json);
+  Printf.printf "wrote %s\n" out
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--tables-only | --bechamel-only] [--out FILE]";
+  prerr_endline "  --tables-only    only the paper tables (Part 1)";
+  prerr_endline "  --bechamel-only  only the micro-benchmarks (Part 2)";
+  prerr_endline "  --out FILE       JSON summary path (default BENCH_results.json)"
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let tables_only = List.mem "--tables-only" args in
-  let bechamel_only = List.mem "--bechamel-only" args in
-  if not bechamel_only then run_tables ();
-  if not tables_only then run_bechamel ()
+  let tables_only = ref false
+  and bechamel_only = ref false
+  and out = ref "BENCH_results.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--tables-only" :: rest ->
+        tables_only := true;
+        parse rest
+    | "--bechamel-only" :: rest ->
+        bechamel_only := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | [ "--out" ] ->
+        prerr_endline "error: --out needs a file argument";
+        usage ();
+        exit 2
+    | arg :: _ ->
+        Printf.eprintf "error: unknown argument %S\n" arg;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !tables_only && !bechamel_only then begin
+    prerr_endline "error: --tables-only and --bechamel-only are exclusive";
+    usage ();
+    exit 2
+  end;
+  let metrics = if !bechamel_only then None else Some (Obs.Metrics.create ()) in
+  (match metrics with Some m -> run_tables ~metrics:m () | None -> ());
+  let bench_rows = if !tables_only then [] else run_bechamel () in
+  write_results ~out:!out ~bench_rows ~metrics

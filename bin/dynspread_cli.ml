@@ -7,8 +7,12 @@
      dynspread table1      just E1
      dynspread lowerbound  just E2 (+E3)
      dynspread competitive just E4/E5/E6
+     dynspread sweep       size sweeps of one protocol x environment
 
-   Every command is deterministic in --seed. *)
+   Every command is deterministic in --seed.  `run` and `sweep` take
+   --trace FILE.jsonl (per-round event trace, NDJSON) and --json
+   (machine-readable run report on stdout); see README "Observability"
+   for the schemas. *)
 
 open Cmdliner
 
@@ -34,11 +38,42 @@ let csv_arg =
     value & flag
     & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-round event trace to $(docv) as JSONL (one \
+           JSON object per engine event: round_start, graph_change, \
+           send, progress, phase, run_end).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print a machine-readable JSON run report to stdout instead \
+           of the human-readable summary.")
+
 let print_table ~csv t =
   if csv then (
     print_endline (Analysis.Table.to_csv t);
     print_newline ())
   else Analysis.Table.print t
+
+(* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise. *)
+let with_trace trace f =
+  match trace with
+  | None -> f Obs.Sink.null
+  | Some path -> (
+      match open_out path with
+      | exception Sys_error msg ->
+          `Error (false, "cannot open trace file: " ^ msg)
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> f (Obs.Sink.Jsonl oc)))
 
 (* {2 run} *)
 
@@ -49,11 +84,17 @@ let protocol_conv =
     [ ("flooding", Flooding); ("single-source", Single);
       ("multi-source", Multi); ("oblivious-rw", Rw) ]
 
+let protocol_name = function
+  | Flooding -> "flooding"
+  | Single -> "single-source"
+  | Multi -> "multi-source"
+  | Rw -> "oblivious-rw"
+
 let protocol_arg =
   Arg.(
     value
     & opt protocol_conv Single
-    & info [ "protocol" ] ~docv:"PROTOCOL"
+    & info [ "protocol"; "algo" ] ~docv:"PROTOCOL"
         ~doc:
           "One of $(b,flooding), $(b,single-source), $(b,multi-source), \
            $(b,oblivious-rw).")
@@ -75,6 +116,15 @@ let env_conv =
       ("fresh-random", Env_fresh); ("request-cutter", Env_cutter);
       ("lower-bound", Env_lb);
     ]
+
+let env_name = function
+  | Env_static -> "static"
+  | Env_rotator -> "tree-rotator"
+  | Env_rewiring -> "rewiring"
+  | Env_markovian -> "edge-markovian"
+  | Env_fresh -> "fresh-random"
+  | Env_cutter -> "request-cutter"
+  | Env_lb -> "lower-bound"
 
 let env_arg =
   Arg.(
@@ -121,28 +171,72 @@ let timeline_arg =
           "After the summary, dump the per-round learning curve as CSV \
            (round,messages,learnings) for plotting.")
 
-let report_run ?(timeline = false) ~n ~k (result : Engine.Run_result.t) =
+let print_json_report report =
+  print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+
+let report_run ?(timeline = false) ?(json = false) ~name ~n ~k
+    (result : Engine.Run_result.t) =
   let ledger = result.ledger in
-  Format.printf "@[<v>%a@]@." Engine.Run_result.pp result;
-  Format.printf "amortized per token: %.2f@."
-    (Engine.Ledger.amortized ledger ~k);
-  Format.printf
-    "adversary-competitive (alpha=1): %.0f  [budget n^2+nk = %.0f]@."
-    (Engine.Ledger.competitive_cost ledger ~alpha:1.)
-    (Gossip.Bounds.single_source_budget ~n ~k);
-  Format.printf "per-node load: max %d, mean %.1f@."
-    (Engine.Ledger.max_load ledger)
-    (Engine.Ledger.mean_load ledger);
-  if timeline then begin
-    Format.printf "@.round,messages,learnings@.";
-    List.iter
-      (fun (r, msgs, learned) -> Format.printf "%d,%d,%d@." r msgs learned)
-      result.timeline
+  if json then
+    print_json_report
+      (Engine.Run_result.to_report ~name
+         ~extra:
+           [
+             ( "amortized_per_token",
+               Obs.Json.Float (Engine.Ledger.amortized ledger ~k) );
+             ( "budget_n2_nk",
+               Obs.Json.Float (Gossip.Bounds.single_source_budget ~n ~k) );
+           ]
+         result)
+  else begin
+    Format.printf "@[<v>%a@]@." Engine.Run_result.pp result;
+    Format.printf "amortized per token: %.2f@."
+      (Engine.Ledger.amortized ledger ~k);
+    Format.printf
+      "adversary-competitive (alpha=1): %.0f  [budget n^2+nk = %.0f]@."
+      (Engine.Ledger.competitive_cost ledger ~alpha:1.)
+      (Gossip.Bounds.single_source_budget ~n ~k);
+    Format.printf "per-node load: max %d, mean %.1f@."
+      (Engine.Ledger.max_load ledger)
+      (Engine.Ledger.mean_load ledger);
+    if timeline then begin
+      Format.printf "@.round,messages,learnings@.";
+      List.iter
+        (fun (r, msgs, learned) -> Format.printf "%d,%d,%d@." r msgs learned)
+        result.timeline
+    end
   end
+
+(* Algorithm 2 returns its own result record, not a Run_result; wrap
+   its merged ledger so the JSON report path is uniform. *)
+let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
+  let as_run_result =
+    Engine.Run_result.make
+      ~rounds:(r.Gossip.Oblivious_rw.phase1_rounds + r.Gossip.Oblivious_rw.phase2_rounds)
+      ~completed:r.Gossip.Oblivious_rw.completed
+      ~ledger:r.Gossip.Oblivious_rw.ledger ~timeline:[]
+  in
+  Engine.Run_result.to_report ~name
+    ~extra:
+      [
+        ("centers", Obs.Json.Int r.Gossip.Oblivious_rw.centers);
+        ("skipped_phase1", Obs.Json.Bool r.Gossip.Oblivious_rw.skipped_phase1);
+        ("phase1_rounds", Obs.Json.Int r.Gossip.Oblivious_rw.phase1_rounds);
+        ("phase1_settled", Obs.Json.Bool r.Gossip.Oblivious_rw.phase1_settled);
+        ("phase2_rounds", Obs.Json.Int r.Gossip.Oblivious_rw.phase2_rounds);
+        ("paper_messages", Obs.Json.Int r.Gossip.Oblivious_rw.paper_messages);
+        ( "amortized_per_token",
+          Obs.Json.Float
+            (float_of_int r.Gossip.Oblivious_rw.paper_messages
+            /. float_of_int k) );
+      ]
+    as_run_result
 
 let run_cmd =
   let doc = "Run one protocol in one environment and print the cost ledger." in
-  let run protocol env n k s sigma seed timeline =
+  let run protocol env n k s sigma seed timeline trace json =
+    let name = protocol_name protocol ^ "/" ^ env_name env in
+    with_trace trace @@ fun obs ->
     let instance =
       match protocol with
       | Single -> Gossip.Instance.single_source ~n ~k ~source:0
@@ -160,21 +254,25 @@ let run_cmd =
         in
         let result =
           match protocol with
-          | Single -> fst (Gossip.Runners.single_source ~instance ~env:envv ())
+          | Single ->
+              fst (Gossip.Runners.single_source ~instance ~env:envv ~obs ())
           | Multi | Flooding | Rw ->
-              fst (Gossip.Runners.multi_source ~instance ~env:envv ())
+              fst (Gossip.Runners.multi_source ~instance ~env:envv ~obs ())
         in
-        report_run ~timeline ~n ~k result;
+        report_run ~timeline ~json ~name ~n ~k result;
         `Ok ()
     | Flooding, Env_lb ->
         let result, _, lb =
-          Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ()
+          Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ~obs ()
         in
-        report_run ~timeline ~n ~k result;
-        let history = Adversary.Broadcast_lb.history lb in
-        let max_c = List.fold_left (fun a (_, c) -> max a c) 0 history in
-        Format.printf "lower-bound adversary: max free components %d (log n = %.1f)@."
-          max_c (Gossip.Bounds.logn n);
+        report_run ~timeline ~json ~name ~n ~k result;
+        if not json then begin
+          let history = Adversary.Broadcast_lb.history lb in
+          let max_c = List.fold_left (fun a (_, c) -> max a c) 0 history in
+          Format.printf
+            "lower-bound adversary: max free components %d (log n = %.1f)@."
+            max_c (Gossip.Bounds.logn n)
+        end;
         `Ok ()
     | _, (Env_cutter | Env_lb) ->
         `Error
@@ -187,39 +285,44 @@ let run_cmd =
         | Some schedule -> (
             match protocol with
             | Flooding ->
-                let result, _ = Gossip.Runners.flooding ~instance ~schedule () in
-                report_run ~timeline ~n ~k result;
+                let result, _ =
+                  Gossip.Runners.flooding ~instance ~schedule ~obs ()
+                in
+                report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
             | Single ->
                 let result, _ =
                   Gossip.Runners.single_source ~instance
-                    ~env:(Gossip.Runners.Oblivious schedule) ()
+                    ~env:(Gossip.Runners.Oblivious schedule) ~obs ()
                 in
-                report_run ~timeline ~n ~k result;
+                report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
             | Multi ->
                 let result, _ =
                   Gossip.Runners.multi_source ~instance
-                    ~env:(Gossip.Runners.Oblivious schedule) ()
+                    ~env:(Gossip.Runners.Oblivious schedule) ~obs ()
                 in
-                report_run ~timeline ~n ~k result;
+                report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
             | Rw ->
                 let r =
                   Gossip.Runners.oblivious_rw ~instance ~schedule ~seed
-                    ~const_f:0.05 ~force_rw:true ()
+                    ~const_f:0.05 ~force_rw:true ~obs ()
                 in
-                Format.printf
-                  "@[<v>algorithm 2: centers=%d phase1=%d rounds (settled: %b) \
-                   phase2=%d rounds completed=%b@ %a@]@."
-                  r.Gossip.Oblivious_rw.centers
-                  r.Gossip.Oblivious_rw.phase1_rounds
-                  r.Gossip.Oblivious_rw.phase1_settled
-                  r.Gossip.Oblivious_rw.phase2_rounds
-                  r.Gossip.Oblivious_rw.completed Engine.Ledger.pp
-                  r.Gossip.Oblivious_rw.ledger;
-                Format.printf "paper messages (sans center chatter): %d@."
-                  r.Gossip.Oblivious_rw.paper_messages;
+                if json then print_json_report (rw_report ~name ~k r)
+                else begin
+                  Format.printf
+                    "@[<v>algorithm 2: centers=%d phase1=%d rounds (settled: \
+                     %b) phase2=%d rounds completed=%b@ %a@]@."
+                    r.Gossip.Oblivious_rw.centers
+                    r.Gossip.Oblivious_rw.phase1_rounds
+                    r.Gossip.Oblivious_rw.phase1_settled
+                    r.Gossip.Oblivious_rw.phase2_rounds
+                    r.Gossip.Oblivious_rw.completed Engine.Ledger.pp
+                    r.Gossip.Oblivious_rw.ledger;
+                  Format.printf "paper messages (sans center chatter): %d@."
+                    r.Gossip.Oblivious_rw.paper_messages
+                end;
                 `Ok ()))
   in
   Cmd.v
@@ -227,7 +330,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
-        $ sigma_arg $ seed_arg $ timeline_arg))
+        $ sigma_arg $ seed_arg $ timeline_arg $ trace_arg $ json_arg))
 
 (* {2 experiments} *)
 
@@ -237,6 +340,14 @@ let experiment_names =
     ("e6", `E6); ("e7", `E7); ("e8", `E8); ("e9", `E9); ("e10", `E10);
     ("e11", `E11); ("e12", `E12); ("e13", `E13); ("e14", `E14);
   ]
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "After the tables, print each experiment's wall-clock (from \
+           the observability layer's per-experiment spans).")
 
 let experiments_cmd =
   let doc =
@@ -250,33 +361,46 @@ let experiments_cmd =
           ~doc:
             "Experiment ids (e0 e1 ... e14); default: all.")
   in
-  let run ids csv seed =
+  let run ids csv seed timings =
+    let metrics = if timings then Some (Obs.Metrics.create ()) else None in
     let selected = if ids = [] then List.map snd experiment_names else ids in
     List.iter
       (fun id ->
         let table =
           match id with
-          | `E0 -> Analysis.Experiments.environments ~seed ()
-          | `E1 -> Analysis.Experiments.table1 ~seed ()
-          | `E2 -> Analysis.Experiments.lower_bound ~seed ()
-          | `E3 -> Analysis.Experiments.free_edges ~seed ()
-          | `E4 -> Analysis.Experiments.single_source ~seed ()
-          | `E6 -> Analysis.Experiments.multi_source ~seed ()
-          | `E7 -> Analysis.Experiments.rw_scaling ~seed ()
-          | `E8 -> Analysis.Experiments.static_baseline ~seed ()
-          | `E9 -> Analysis.Experiments.time_vs_messages ~seed ()
-          | `E10 -> Analysis.Experiments.ablation ~seed ()
-          | `E11 -> Analysis.Experiments.rw_tradeoff ~seed ()
-          | `E12 -> Analysis.Experiments.coding_gap ~seed ()
-          | `E13 -> Analysis.Experiments.leader_election ~seed ()
-          | `E14 -> Analysis.Experiments.adaptivity ~seed ()
+          | `E0 -> Analysis.Experiments.environments ?metrics ~seed ()
+          | `E1 -> Analysis.Experiments.table1 ?metrics ~seed ()
+          | `E2 -> Analysis.Experiments.lower_bound ?metrics ~seed ()
+          | `E3 -> Analysis.Experiments.free_edges ?metrics ~seed ()
+          | `E4 -> Analysis.Experiments.single_source ?metrics ~seed ()
+          | `E6 -> Analysis.Experiments.multi_source ?metrics ~seed ()
+          | `E7 -> Analysis.Experiments.rw_scaling ?metrics ~seed ()
+          | `E8 -> Analysis.Experiments.static_baseline ?metrics ~seed ()
+          | `E9 -> Analysis.Experiments.time_vs_messages ?metrics ~seed ()
+          | `E10 -> Analysis.Experiments.ablation ?metrics ~seed ()
+          | `E11 -> Analysis.Experiments.rw_tradeoff ?metrics ~seed ()
+          | `E12 -> Analysis.Experiments.coding_gap ?metrics ~seed ()
+          | `E13 -> Analysis.Experiments.leader_election ?metrics ~seed ()
+          | `E14 -> Analysis.Experiments.adaptivity ?metrics ~seed ()
         in
         print_table ~csv table)
-      selected
+      selected;
+    match metrics with
+    | None -> ()
+    | Some m ->
+        print_table ~csv
+          (Analysis.Table.make ~title:"experiment wall-clock"
+             ~columns:[ "experiment"; "seconds" ]
+             (List.filter_map
+                (fun name ->
+                  match Obs.Metrics.summary m name with
+                  | Some s -> Some [ name; Printf.sprintf "%.3f" s.Obs.Metrics.sum ]
+                  | None -> None)
+                (Obs.Metrics.names m)))
   in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run $ which $ csv_arg $ seed_arg)
+    Term.(const run $ which $ csv_arg $ seed_arg $ timings_arg)
 
 (* {2 focused shortcuts} *)
 
@@ -322,7 +446,7 @@ let competitive_cmd =
 let sweep_cmd =
   let doc =
     "Sweep node counts for one protocol x environment; one table row per \
-     size (use --csv for machine-readable output)."
+     size (use --csv or --json for machine-readable output)."
   in
   let sizes_arg =
     Arg.(
@@ -335,8 +459,10 @@ let sweep_cmd =
       value & opt int 2
       & info [ "k-factor" ] ~docv:"F" ~doc:"Tokens per size: k = F * n.")
   in
-  let run protocol env sizes k_factor sigma seed csv =
+  let run protocol env sizes k_factor sigma seed csv trace json =
+    with_trace trace @@ fun obs ->
     let rows = ref [] in
+    let reports = ref [] in
     let ok = ref true in
     List.iter
       (fun n ->
@@ -351,9 +477,11 @@ let sweep_cmd =
               Some
                 (match protocol with
                 | Single ->
-                    fst (Gossip.Runners.single_source ~instance ~env:envv ())
+                    fst
+                      (Gossip.Runners.single_source ~instance ~env:envv ~obs ())
                 | Multi | Flooding | Rw ->
-                    fst (Gossip.Runners.multi_source ~instance ~env:envv ()))
+                    fst
+                      (Gossip.Runners.multi_source ~instance ~env:envv ~obs ()))
           | _, (Env_cutter | Env_lb) -> None
           | _, _ -> (
               match schedule_of_env ~env ~seed:(seed + n) ~n ~sigma with
@@ -362,7 +490,9 @@ let sweep_cmd =
                   match protocol with
                   | Flooding ->
                       let instance = Gossip.Instance.one_per_node ~n in
-                      Some (fst (Gossip.Runners.flooding ~instance ~schedule ()))
+                      Some
+                        (fst
+                           (Gossip.Runners.flooding ~instance ~schedule ~obs ()))
                   | Single ->
                       let instance =
                         Gossip.Instance.single_source ~n ~k ~source:0
@@ -370,7 +500,7 @@ let sweep_cmd =
                       Some
                         (fst
                            (Gossip.Runners.single_source ~instance
-                              ~env:(Gossip.Runners.Oblivious schedule) ()))
+                              ~env:(Gossip.Runners.Oblivious schedule) ~obs ()))
                   | Multi ->
                       let instance =
                         Gossip.Instance.multi_source
@@ -380,7 +510,7 @@ let sweep_cmd =
                       Some
                         (fst
                            (Gossip.Runners.multi_source ~instance
-                              ~env:(Gossip.Runners.Oblivious schedule) ()))
+                              ~env:(Gossip.Runners.Oblivious schedule) ~obs ()))
                   | Rw -> None))
         in
         match run_one () with
@@ -390,6 +520,21 @@ let sweep_cmd =
             let k_used =
               match protocol with Flooding -> n | Single | Multi | Rw -> k
             in
+            let name =
+              Printf.sprintf "%s/%s/n=%d" (protocol_name protocol)
+                (env_name env) n
+            in
+            reports :=
+              Engine.Run_result.to_report ~name
+                ~extra:
+                  [
+                    ("n", Obs.Json.Int n); ("k", Obs.Json.Int k_used);
+                    ( "amortized_per_token",
+                      Obs.Json.Float (Engine.Ledger.amortized ledger ~k:k_used)
+                    );
+                  ]
+                result
+              :: !reports;
             rows :=
               [
                 string_of_int n;
@@ -407,6 +552,13 @@ let sweep_cmd =
       sizes;
     if not !ok then
       `Error (false, "this protocol/environment combination cannot be swept")
+    else if json then begin
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.List
+              (List.rev_map Obs.Report.to_json !reports)));
+      `Ok ()
+    end
     else begin
       print_table ~csv
         (Analysis.Table.make ~title:"size sweep"
@@ -422,7 +574,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ protocol_arg $ env_arg $ sizes_arg $ k_factor_arg
-        $ sigma_arg $ seed_arg $ csv_arg))
+        $ sigma_arg $ seed_arg $ csv_arg $ trace_arg $ json_arg))
 
 let main_cmd =
   let doc =

@@ -7,9 +7,15 @@ let dense_schedule ~seed ~n = Adversary.Oblivious.fresh_random ~seed ~n ~p:0.25
 
 let stable sched = Adversary.Schedule.stabilized ~sigma:3 sched
 
+(* Every experiment runs inside a named Obs.Timer span; with ?metrics
+   supplied, its wall-clock lands in an "experiment/<id>" histogram so
+   the harness can report where simulator time goes. *)
+let timed ?metrics id body = Obs.Timer.observe_span ?metrics ~name:id body
+
 (* {2 E1 — Table 1} *)
 
-let table1 ?(ns = [ 24; 32 ]) ~seed () =
+let table1 ?(ns = [ 24; 32 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e1-table1" @@ fun () ->
   let rows = ref [] in
   let wins = ref 0 and cases = ref 0 in
   List.iter
@@ -85,7 +91,8 @@ let per_token_cost (result : Engine.Run_result.t) ~n =
     /. float_of_int learnings
     *. float_of_int (n - 1)
 
-let lower_bound ?(ns = [ 16; 24; 32 ]) ~seed () =
+let lower_bound ?(ns = [ 16; 24; 32 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e2-lower-bound" @@ fun () ->
   let rows = ref [] in
   let all_above_floor = ref true in
   let flooding_below_ceiling = ref true in
@@ -154,7 +161,8 @@ let lower_bound ?(ns = [ 16; 24; 32 ]) ~seed () =
 
 (* {2 E3 — free-edge structure (Figure 1, Lemmas 2.1/2.2)} *)
 
-let free_edges ?(n = 64) ?(trials = 25) ~seed () =
+let free_edges ?(n = 64) ?(trials = 25) ?metrics ~seed () =
+  timed ?metrics "experiment/e3-free-edges" @@ fun () ->
   let k = n in
   (* Lemma 2.2 holds for a sufficiently large constant c; c = 2 is
      already enough at simulator sizes (c = 1 is marginal at n < 32). *)
@@ -222,7 +230,8 @@ let free_edges ?(n = 64) ?(trials = 25) ~seed () =
 
 (* {2 E4 + E5 — single source} *)
 
-let single_source ?(ns = [ 16; 24; 32 ]) ~seed () =
+let single_source ?(ns = [ 16; 24; 32 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e4-single-source" @@ fun () ->
   let rows = ref [] in
   let within_budget = ref true and within_rounds = ref true in
   List.iter
@@ -309,7 +318,9 @@ let single_source ?(ns = [ 16; 24; 32 ]) ~seed () =
 
 (* {2 E6 — multi source} *)
 
-let multi_source ?(n = 24) ?(k = 96) ?(ss = [ 1; 2; 4; 8; 16; 24 ]) ~seed () =
+let multi_source ?(n = 24) ?(k = 96) ?(ss = [ 1; 2; 4; 8; 16; 24 ]) ?metrics
+    ~seed () =
+  timed ?metrics "experiment/e6-multi-source" @@ fun () ->
   let rows = ref [] in
   let within_budget = ref true in
   List.iter
@@ -362,7 +373,8 @@ let multi_source ?(n = 24) ?(k = 96) ?(ss = [ 1; 2; 4; 8; 16; 24 ]) ~seed () =
 
 (* {2 E7 — Theorem 3.8 scaling} *)
 
-let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ~seed () =
+let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e7-rw-scaling" @@ fun () ->
   let replicates = 4 in
   let rows = ref [] in
   let announce_pts = ref []
@@ -455,7 +467,8 @@ let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ~seed () =
 
 (* {2 E8 — static baseline} *)
 
-let static_baseline ?(ns = [ 16; 32; 64 ]) ~seed () =
+let static_baseline ?(ns = [ 16; 32; 64 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e8-static-baseline" @@ fun () ->
   let rows = ref [] in
   let amortized_optimal = ref true in
   List.iter
@@ -501,7 +514,8 @@ let static_baseline ?(ns = [ 16; 32; 64 ]) ~seed () =
 
 (* {2 E9 — time vs messages} *)
 
-let time_vs_messages ?(n = 24) ~seed () =
+let time_vs_messages ?(n = 24) ?metrics ~seed () =
+  timed ?metrics "experiment/e9-time-vs-messages" @@ fun () ->
   let instance = Gossip.Instance.one_per_node ~n in
   let k = n in
   let flood_result, _ =
@@ -562,7 +576,8 @@ let time_vs_messages ?(n = 24) ~seed () =
 
 (* {2 E10 — Algorithm 1 ablation} *)
 
-let ablation ?(n = 20) ?(k = 40) ~seed () =
+let ablation ?(n = 20) ?(k = 40) ?metrics ~seed () =
+  timed ?metrics "experiment/e10-ablation" @@ fun () ->
   let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
   let replicates = 3 in
   let environments =
@@ -728,7 +743,8 @@ let ablation ?(n = 20) ?(k = 40) ~seed () =
 
 (* {2 E11 — the f trade-off inside Theorem 3.8} *)
 
-let rw_tradeoff ?(n = 32) ?(k = 128) ~seed () =
+let rw_tradeoff ?(n = 32) ?(k = 128) ?metrics ~seed () =
+  timed ?metrics "experiment/e11-rw-tradeoff" @@ fun () ->
   let s = min n k in
   let replicates = 3 in
   let rows = ref [] in
@@ -796,7 +812,8 @@ let rw_tradeoff ?(n = 32) ?(k = 128) ~seed () =
 
 (* {2 E12 — coding vs token forwarding} *)
 
-let coding_gap ?(ns = [ 12; 16; 24; 32 ]) ~seed () =
+let coding_gap ?(ns = [ 12; 16; 24; 32 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e12-coding-gap" @@ fun () ->
   let rows = ref [] in
   let flood_pts = ref [] and coded_pts = ref [] in
   let coding_always_faster = ref true in
@@ -867,7 +884,8 @@ let coding_gap ?(ns = [ 12; 16; 24; 32 ]) ~seed () =
 
 (* {2 E0 — environment characterization} *)
 
-let environments ?(n = 32) ?(rounds = 40) ~seed () =
+let environments ?(n = 32) ?(rounds = 40) ?metrics ~seed () =
+  timed ?metrics "experiment/e0-environments" @@ fun () ->
   let rows =
     Adversary.Oblivious.all_named ~n ~seed
     |> List.map (fun (name, sched) ->
@@ -906,7 +924,8 @@ let environments ?(n = 32) ?(rounds = 40) ~seed () =
 
 (* {2 E13 — leader election under the competitive measure} *)
 
-let leader_election ?(ns = [ 16; 32; 64 ]) ~seed () =
+let leader_election ?(ns = [ 16; 32; 64 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e13-leader-election" @@ fun () ->
   let rows = ref [] in
   let within = ref true in
   List.iter
@@ -977,7 +996,8 @@ let leader_election ?(ns = [ 16; 32; 64 ]) ~seed () =
 
 (* {2 E14 — the adversary hierarchy} *)
 
-let adaptivity ?(n = 32) ?budget ~seed () =
+let adaptivity ?(n = 32) ?budget ?metrics ~seed () =
+  timed ?metrics "experiment/e14-adaptivity" @@ fun () ->
   let budget = Option.value budget ~default:n in
   let instance = Gossip.Instance.one_per_node ~n in
   let k = n in
@@ -1056,20 +1076,20 @@ let adaptivity ?(n = 32) ?budget ~seed () =
       ]
     (rows_a @ rows_b)
 
-let all ~seed () =
+let all ?metrics ~seed () =
   [
-    environments ~seed ();
-    table1 ~seed ();
-    lower_bound ~seed ();
-    free_edges ~seed ();
-    single_source ~seed ();
-    multi_source ~seed ();
-    rw_scaling ~seed ();
-    static_baseline ~seed ();
-    time_vs_messages ~seed ();
-    ablation ~seed ();
-    rw_tradeoff ~seed ();
-    coding_gap ~seed ();
-    leader_election ~seed ();
-    adaptivity ~seed ();
+    environments ?metrics ~seed ();
+    table1 ?metrics ~seed ();
+    lower_bound ?metrics ~seed ();
+    free_edges ?metrics ~seed ();
+    single_source ?metrics ~seed ();
+    multi_source ?metrics ~seed ();
+    rw_scaling ?metrics ~seed ();
+    static_baseline ?metrics ~seed ();
+    time_vs_messages ?metrics ~seed ();
+    ablation ?metrics ~seed ();
+    rw_tradeoff ?metrics ~seed ();
+    coding_gap ?metrics ~seed ();
+    leader_election ?metrics ~seed ();
+    adaptivity ?metrics ~seed ();
   ]

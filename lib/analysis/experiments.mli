@@ -7,59 +7,65 @@
     crossovers, bound ratios — is the reproduction target, and each
     table's notes state the shape check and whether the data passes it.
 
-    All experiments are deterministic in [seed]. *)
+    All experiments are deterministic in [seed].
 
-val table1 : ?ns:int list -> seed:int -> unit -> Table.t
+    Every experiment accepts an optional [?metrics] registry: its
+    wall-clock is then recorded as an ["experiment/<id>"] histogram
+    sample (via {!Obs.Timer.observe_span}), so callers — the bench
+    harness, the CLI's [experiments --timings] — can report where
+    simulator time goes. *)
+
+val table1 : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E1 — Table 1: amortized message complexity of Algorithm 2 across
     the paper's four k-regimes, vs. plain Multi-Source-Unicast and the
     paper's closed-form bound.  Sources: every node ([s = n], the
     many-source regime Table 1 assumes). *)
 
-val lower_bound : ?ns:int list -> seed:int -> unit -> Table.t
+val lower_bound : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E2 — Theorem 2.3: amortized local broadcasts of flooding and the
     greedy heuristics against the strongly adaptive adversary, between
     the [n²/log²n] floor and the [n²] flooding ceiling. *)
 
-val free_edges : ?n:int -> ?trials:int -> seed:int -> unit -> Table.t
+val free_edges : ?n:int -> ?trials:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E3 — Figure 1 / Lemmas 2.1–2.2: structure of the free-edge graph
     as a function of the number of broadcasting nodes. *)
 
-val single_source : ?ns:int list -> seed:int -> unit -> Table.t
+val single_source : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E4+E5 — Theorems 3.1/3.4: Single-Source-Unicast messages vs the
     O(n² + nk) + TC budget and rounds vs the O(nk) bound, across
     environments including the adaptive request-cutter. *)
 
-val multi_source : ?n:int -> ?k:int -> ?ss:int list -> seed:int -> unit -> Table.t
+val multi_source : ?n:int -> ?k:int -> ?ss:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E6 — Theorems 3.5/3.6: Multi-Source-Unicast vs the O(n²s + nk) +
     TC budget as the source count grows. *)
 
-val rw_scaling : ?n:int -> ?ks:int list -> seed:int -> unit -> Table.t
+val rw_scaling : ?n:int -> ?ks:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E7 — Theorem 3.8: total and amortized messages of Algorithm 2 as k
     grows at fixed n; reports the measured log-log growth exponents
     against the paper's 1/4 (total) and −3/4 (amortized). *)
 
-val static_baseline : ?ns:int list -> seed:int -> unit -> Table.t
+val static_baseline : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E8 — the intro's static-network yardstick: spanning-tree
     dissemination at O(n²/k + n) amortized. *)
 
-val time_vs_messages : ?n:int -> seed:int -> unit -> Table.t
+val time_vs_messages : ?n:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E9 — the Section 1.2 contrast: on identical instances, the
     time-optimal strategy (flooding) is not message-optimal and vice
     versa. *)
 
-val ablation : ?n:int -> ?k:int -> seed:int -> unit -> Table.t
+val ablation : ?n:int -> ?k:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E10 — ablation of Algorithm 1's design choices: the paper's
     new > idle > contributive request priority (Lemmas 3.2/3.3) and its
     pending-request deduplication, plus the unstructured random-push
     baseline, all on identical instances and environments. *)
 
-val rw_tradeoff : ?n:int -> ?k:int -> seed:int -> unit -> Table.t
+val rw_tradeoff : ?n:int -> ?k:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E11 — the optimization step inside Theorem 3.8: sweeping the
     center density f trades walk cost (fewer centers, longer walks, the
     kL term) against scatter cost (more centers, more per-source
     announcements, the f n^2 term); the paper picks f to balance them. *)
 
-val coding_gap : ?ns:int list -> seed:int -> unit -> Table.t
+val coding_gap : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E12 — the token-forwarding barrier (Section 1.2): on identical
     n-gossip instances, network-coding gossip completes in ~O(n + k)
     rounds where phased flooding needs ~nk — the round gap that
@@ -67,24 +73,24 @@ val coding_gap : ?ns:int list -> seed:int -> unit -> Table.t
     algorithms (coded packets carry k-bit coefficient vectors, far
     beyond the O(log n)-bit token-forwarding message budget). *)
 
-val environments : ?n:int -> ?rounds:int -> seed:int -> unit -> Table.t
+val environments : ?n:int -> ?rounds:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E0 — not a paper artifact but the context for reading all the
     others: structural and churn characteristics of every oblivious
     adversary family (density, clustering, distances, TC per round,
     turnover), measured over a committed prefix. *)
 
-val leader_election : ?ns:int list -> seed:int -> unit -> Table.t
+val leader_election : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E13 — beyond the paper (its Section-4 program): leader election
     under the adversary-competitive measure.  Sends decompose into
     champion improvements (bounded regardless of churn) and per-edge
     catch-ups (bounded by 2·TC), so the competitive cost stays small
     however hard the topology churns. *)
 
-val adaptivity : ?n:int -> ?budget:int -> seed:int -> unit -> Table.t
+val adaptivity : ?n:int -> ?budget:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
 (** E14 — the adversary hierarchy of Section 1.3 (and footnote 4):
     oblivious vs weakly adaptive vs strongly adaptive, measured as the
     progress (token learnings) each allows an unstructured broadcaster
     within a fixed round budget.  More adaptivity, less progress. *)
 
-val all : seed:int -> unit -> Table.t list
+val all : ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t list
 (** Every experiment at its default size, in index order. *)

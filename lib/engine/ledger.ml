@@ -37,6 +37,7 @@ let record_sender t v m =
 
 let sender_load t v = Option.value (Hashtbl.find_opt t.loads v) ~default:0
 let max_load t = Hashtbl.fold (fun _ m acc -> max m acc) t.loads 0
+let load_list t = Hashtbl.fold (fun _ m acc -> m :: acc) t.loads []
 
 let mean_load t =
   let total, senders =

@@ -46,6 +46,11 @@ val mean_load : t -> float
 (** Total attributed messages divided by the number of nodes that ever
     sent (0 if none sent). *)
 
+val load_list : t -> int list
+(** The per-sender message loads, one entry per node that ever sent,
+    in unspecified order — feed to {!Obs.Metrics.summarize} for the
+    load-distribution report. *)
+
 val count : t -> Msg_class.t -> int
 val total : t -> int
 (** Sum over all classes. *)

@@ -10,6 +10,22 @@ let make ~rounds ~completed ~ledger ~timeline =
 
 let messages t = Ledger.total t.ledger
 
+let to_report ?(name = "run") ?(alpha = 1.) ?(extra = []) t =
+  Obs.Report.make ~name ~completed:t.completed ~rounds:t.rounds
+    ~messages:(Ledger.total t.ledger)
+    ~class_counts:
+      (List.map
+         (fun cls -> (Msg_class.to_string cls, Ledger.count t.ledger cls))
+         Msg_class.all)
+    ~tc:(Ledger.tc t.ledger) ~removals:(Ledger.removals t.ledger)
+    ~learnings:(Ledger.learnings t.ledger) ~alpha
+    ~competitive_cost:(Ledger.competitive_cost t.ledger ~alpha)
+    ~max_load:(Ledger.max_load t.ledger)
+    ~mean_load:(Ledger.mean_load t.ledger)
+    ?load_summary:
+      (Obs.Metrics.summarize (List.map float_of_int (Ledger.load_list t.ledger)))
+    ~timeline:t.timeline ~extra ()
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s after %d rounds@ %a@]"
     (if t.completed then "completed" else "HIT ROUND CAP")

@@ -19,21 +19,29 @@ type ('state, 'msg) adversary =
   Dynet.Graph.t
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
-    ?init_prev ~(states : s array) ~(adversary : (s, m) adversary) ~max_rounds
-    ~stop () =
+    ?init_prev ?(obs = Obs.Sink.null) ~(states : s array)
+    ~(adversary : (s, m) adversary) ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
   let timeline = ref [] in
+  (* Hoisted so the default Null sink costs one boolean test per
+     emission site and never allocates an event. *)
+  let tracing = not (Obs.Sink.is_null obs) in
   let sum_progress () =
     Array.fold_left (fun acc st -> acc + P.progress st) 0 states
   in
-  Ledger.note_progress ledger (sum_progress ());
+  let p0 = sum_progress () in
+  Ledger.note_progress ledger p0;
+  if tracing then
+    Obs.Sink.emit obs
+      (Obs.Trace.Progress { round = 0; progress = p0; learnings = 0 });
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
   let completed = ref (stop states) in
   let round = ref 0 in
   while (not !completed) && !round < max_rounds do
     incr round;
     let r = !round in
+    if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
     let intents =
       Array.map
         (fun _ -> (None : m option))
@@ -46,15 +54,34 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     done;
     let g = adversary ~round:r ~prev:!prev ~states ~intents in
     Engine_error.check_graph ~round:r ~n g;
+    let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
     Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+    if tracing then
+      Obs.Sink.emit obs
+        (Obs.Trace.Graph_change
+           {
+             round = r;
+             added = Ledger.tc ledger - tc0;
+             removed = Ledger.removals ledger - rm0;
+           });
     Ledger.note_round ledger;
     Array.iteri
       (fun v intent ->
         match intent with
         | None -> ()
         | Some m ->
-            Ledger.record ledger (P.classify m) 1;
-            Ledger.record_sender ledger v 1)
+            let cls = P.classify m in
+            Ledger.record ledger cls 1;
+            Ledger.record_sender ledger v 1;
+            if tracing then
+              Obs.Sink.emit obs
+                (Obs.Trace.Send
+                   {
+                     round = r;
+                     src = v;
+                     dst = None;
+                     cls = Msg_class.to_string cls;
+                   }))
       intents;
     let inboxes =
       Array.init n (fun v ->
@@ -67,12 +94,27 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     for v = 0 to n - 1 do
       states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
     done;
-    Ledger.note_progress ledger (sum_progress ());
+    let p = sum_progress () in
+    Ledger.note_progress ledger p;
+    if tracing then
+      Obs.Sink.emit obs
+        (Obs.Trace.Progress
+           { round = r; progress = p; learnings = Ledger.learnings ledger });
     timeline :=
       (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
     prev := g;
     completed := stop states
   done;
+  if tracing then begin
+    Obs.Sink.emit obs
+      (Obs.Trace.Run_end
+         {
+           rounds = !round;
+           completed = !completed;
+           messages = Ledger.total ledger;
+         });
+    Obs.Sink.flush obs
+  end;
   ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
       ~timeline:(List.rev !timeline),
     states )

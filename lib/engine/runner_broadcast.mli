@@ -43,6 +43,7 @@ type ('state, 'msg) adversary =
 val run :
   (module PROTOCOL with type state = 's and type msg = 'm) ->
   ?init_prev:Dynet.Graph.t ->
+  ?obs:Obs.Sink.t ->
   states:'s array ->
   adversary:('s, 'm) adversary ->
   max_rounds:int ->
@@ -53,4 +54,11 @@ val run :
     round 1 for already-solved instances) or [max_rounds] is reached.
     [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting when chaining runs.
+
+    [obs] (default {!Obs.Sink.null}: zero overhead, nothing emitted)
+    receives the {!Obs.Trace} event stream: an initial round-0
+    [Progress], then per executed round [Round_start], [Graph_change],
+    one [Send] per charged broadcast ([dst = None]), and [Progress];
+    finally [Run_end] and a sink flush.  Summing [Send] events gives
+    [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
     @raise Engine_error.Adversary_violation on invalid round graphs. *)

@@ -40,15 +40,22 @@ let mem_sorted arr x =
   search 0 (Array.length arr)
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
-    ?init_prev ~(states : s array) ~(adversary : s adversary) ~max_rounds ~stop
-    () =
+    ?init_prev ?(obs = Obs.Sink.null) ~(states : s array)
+    ~(adversary : s adversary) ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
   let timeline = ref [] in
+  (* Hoisted so the default Null sink costs one boolean test per
+     emission site and never allocates an event. *)
+  let tracing = not (Obs.Sink.is_null obs) in
   let sum_progress () =
     Array.fold_left (fun acc st -> acc + P.progress st) 0 states
   in
-  Ledger.note_progress ledger (sum_progress ());
+  let p0 = sum_progress () in
+  Ledger.note_progress ledger p0;
+  if tracing then
+    Obs.Sink.emit obs
+      (Obs.Trace.Progress { round = 0; progress = p0; learnings = 0 });
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
   let traffic = ref ([] : traffic) in
   let completed = ref (stop states) in
@@ -56,9 +63,19 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   while (not !completed) && !round < max_rounds do
     incr round;
     let r = !round in
+    if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
     let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
     Engine_error.check_graph ~round:r ~n g;
+    let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
     Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+    if tracing then
+      Obs.Sink.emit obs
+        (Obs.Trace.Graph_change
+           {
+             round = r;
+             added = Ledger.tc ledger - tc0;
+             removed = Ledger.removals ledger - rm0;
+           });
     Ledger.note_round ledger;
     let inboxes = Array.make n [] in
     let round_traffic = ref [] in
@@ -89,6 +106,15 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               ());
           Ledger.record ledger cls 1;
           Ledger.record_sender ledger v 1;
+          if tracing then
+            Obs.Sink.emit obs
+              (Obs.Trace.Send
+                 {
+                   round = r;
+                   src = v;
+                   dst = Some dst;
+                   cls = Msg_class.to_string cls;
+                 });
           round_traffic := (v, dst, cls) :: !round_traffic;
           (* Collect in reverse, fix sender order below. *)
           inboxes.(dst) <- (v, m) :: inboxes.(dst))
@@ -103,13 +129,28 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         P.receive states.(v) ~round:r ~neighbors:(Dynet.Graph.neighbors g v)
           ~inbox
     done;
-    Ledger.note_progress ledger (sum_progress ());
+    let p = sum_progress () in
+    Ledger.note_progress ledger p;
+    if tracing then
+      Obs.Sink.emit obs
+        (Obs.Trace.Progress
+           { round = r; progress = p; learnings = Ledger.learnings ledger });
     timeline :=
       (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
     prev := g;
     traffic := List.rev !round_traffic;
     completed := stop states
   done;
+  if tracing then begin
+    Obs.Sink.emit obs
+      (Obs.Trace.Run_end
+         {
+           rounds = !round;
+           completed = !completed;
+           messages = Ledger.total ledger;
+         });
+    Obs.Sink.flush obs
+  end;
   ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
       ~timeline:(List.rev !timeline),
     states )

@@ -55,6 +55,7 @@ type 'state adversary =
 val run :
   (module PROTOCOL with type state = 's and type msg = 'm) ->
   ?init_prev:Dynet.Graph.t ->
+  ?obs:Obs.Sink.t ->
   states:'s array ->
   adversary:'s adversary ->
   max_rounds:int ->
@@ -65,6 +66,13 @@ val run :
     topological-change accounting — pass the previous phase's last
     graph when chaining runs so [TC] is not inflated by a phantom
     re-insertion of every edge.
+
+    [obs] (default {!Obs.Sink.null}: zero overhead, nothing emitted)
+    receives the {!Obs.Trace} event stream: an initial round-0
+    [Progress], then per executed round [Round_start], [Graph_change],
+    one [Send] per unicast message (with its [dst]), and [Progress];
+    finally [Run_end] and a sink flush.  Summing [Send] events gives
+    [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
     @raise Engine_error.Adversary_violation on invalid round graphs.
     @raise Engine_error.Protocol_violation on sends to non-neighbors or
     token-bandwidth violations. *)

@@ -1,60 +1,4 @@
-let require_nonempty name = function
-  | [] -> invalid_arg (name ^ ": empty list")
-  | xs -> xs
-
-let mean xs =
-  let xs = require_nonempty "Stats.mean" xs in
-  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
-
-let stddev xs =
-  let m = mean xs in
-  let xs = require_nonempty "Stats.stddev" xs in
-  let var =
-    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
-    /. float_of_int (List.length xs)
-  in
-  sqrt var
-
-let minimum xs = List.fold_left min infinity (require_nonempty "Stats.minimum" xs)
-let maximum xs =
-  List.fold_left max neg_infinity (require_nonempty "Stats.maximum" xs)
-
-let sorted xs = List.sort Float.compare xs
-
-let median xs =
-  let xs = sorted (require_nonempty "Stats.median" xs) in
-  let arr = Array.of_list xs in
-  let len = Array.length arr in
-  if len mod 2 = 1 then arr.(len / 2)
-  else (arr.((len / 2) - 1) +. arr.(len / 2)) /. 2.
-
-let percentile xs ~p =
-  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let xs = sorted (require_nonempty "Stats.percentile" xs) in
-  let arr = Array.of_list xs in
-  let len = Array.length arr in
-  let rank = int_of_float (ceil (p /. 100. *. float_of_int len)) in
-  arr.(max 0 (min (len - 1) (rank - 1)))
-
-let linear_fit points =
-  let n = List.length points in
-  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
-  let nf = float_of_int n in
-  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
-  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
-  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. points in
-  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. points in
-  let denom = (nf *. sxx) -. (sx *. sx) in
-  if Float.abs denom < 1e-12 then
-    invalid_arg "Stats.linear_fit: degenerate x-values";
-  let b = ((nf *. sxy) -. (sx *. sy)) /. denom in
-  let a = (sy -. (b *. sx)) /. nf in
-  (a, b)
-
-let loglog_slope points =
-  let usable =
-    List.filter_map
-      (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
-      points
-  in
-  snd (linear_fit usable)
+(* The implementation lives in Obs.Stats so the observability layer
+   (Obs.Metrics summaries) can use it without depending on the engine;
+   this alias keeps the historical Engine.Stats path working. *)
+include Obs.Stats

@@ -10,7 +10,7 @@ type result = {
 }
 
 let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
-    ?(force_rw = false) ?phase1_cap ?phase2_cap () =
+    ?(force_rw = false) ?phase1_cap ?phase2_cap ?(obs = Obs.Sink.null) () =
   let n = Instance.n instance in
   let k = Instance.k instance in
   let s = Instance.source_count instance in
@@ -18,12 +18,16 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
   let phase2_cap =
     Option.value phase2_cap ~default:((4 * n * k) + (4 * n * n))
   in
+  let emit_phase name round =
+    if not (Obs.Sink.is_null obs) then
+      Obs.Sink.emit obs (Obs.Trace.Phase { name; round })
+  in
   let run_multi_source ~inst ~offset ~init_prev ~cap =
     let states = Multi_source.init ~instance:inst () in
     let adversary ~round ~prev:_ ~states:_ ~traffic:_ =
       Adversary.Schedule.get schedule (round + offset)
     in
-    Engine.Runner_unicast.run Multi_source.protocol ?init_prev ~states
+    Engine.Runner_unicast.run Multi_source.protocol ?init_prev ~obs ~states
       ~adversary ~max_rounds:cap
       ~stop:(Multi_source.all_complete ~k)
       ()
@@ -32,6 +36,7 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
     (not force_rw) && float_of_int s <= Bounds.source_threshold ~n ()
   in
   if below_threshold then begin
+    emit_phase "multi-source" 0;
     let res, _ = run_multi_source ~inst:instance ~offset:0 ~init_prev:None ~cap:phase2_cap in
     {
       centers = s;
@@ -60,8 +65,9 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
     let adversary ~round ~prev:_ ~states:_ ~traffic:_ =
       Adversary.Schedule.get schedule round
     in
+    emit_phase "random-walk" 0;
     let res1, states =
-      Engine.Runner_unicast.run Rw_phase.protocol ~states ~adversary
+      Engine.Runner_unicast.run Rw_phase.protocol ~obs ~states ~adversary
         ~max_rounds:phase1_cap ~stop:Rw_phase.settled ()
     in
     let settled = res1.Engine.Run_result.completed in
@@ -84,6 +90,7 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
       if res1.Engine.Run_result.rounds = 0 then None
       else Some (Adversary.Schedule.get schedule res1.Engine.Run_result.rounds)
     in
+    emit_phase "multi-source" res1.Engine.Run_result.rounds;
     let res2, _ =
       run_multi_source ~inst:inst2 ~offset:res1.Engine.Run_result.rounds
         ~init_prev:last_graph ~cap:phase2_cap

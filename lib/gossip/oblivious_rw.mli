@@ -51,9 +51,17 @@ val run :
   ?force_rw:bool ->
   ?phase1_cap:int ->
   ?phase2_cap:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   result
 (** [const_f] and [const_gamma] (default 1.0) scale [f] and [γ];
     [force_rw] (default false) runs both phases even under the source
     threshold; caps default to [50·n + 1000] (phase 1) and
-    [4·n·k + 4·n²] (phase 2). *)
+    [4·n·k + 4·n²] (phase 2).
+
+    [obs] (default {!Obs.Sink.null}) is forwarded to both engine runs
+    and additionally receives an [Obs.Trace.Phase] marker before each
+    phase ([{name = "random-walk"}], then [{name = "multi-source"}]
+    carrying the phase-1 round count; a below-threshold run emits only
+    the multi-source marker).  Each phase's engine trace restarts its
+    round numbering at 1 — the phase markers are the boundaries. *)

@@ -10,37 +10,37 @@ let unicast_adversary ~n = function
   | Request_cutting { seed; cut_prob } ->
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
-let single_source ~instance ~env ?max_rounds ?config () =
+let single_source ~instance ~env ?max_rounds ?config ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Single_source.init ?config ~instance () in
-  Engine.Runner_unicast.run Single_source.protocol ~states
+  Engine.Runner_unicast.run Single_source.protocol ?obs ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Single_source.all_complete ~k)
     ()
 
-let multi_source ~instance ~env ?max_rounds ?source_order ?seed () =
+let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
-  Engine.Runner_unicast.run Multi_source.protocol ~states
+  Engine.Runner_unicast.run Multi_source.protocol ?obs ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Multi_source.all_complete ~k)
     ()
 
-let flooding ~instance ~schedule ?phase_len ?max_rounds () =
+let flooding ~instance ~schedule ?phase_len ?max_rounds ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Flooding.init ~instance ?phase_len () in
-  Engine.Runner_broadcast.run Flooding.protocol ~states
+  Engine.Runner_broadcast.run Flooding.protocol ?obs ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds
     ~stop:(Flooding.all_complete ~k)
@@ -52,7 +52,7 @@ let token_uid_of_msg = function
   | Payload.Center_announce ->
       None
 
-let flooding_vs_lower_bound ~instance ~seed ?max_rounds () =
+let flooding_vs_lower_bound ~instance ~seed ?max_rounds ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
@@ -66,14 +66,14 @@ let flooding_vs_lower_bound ~instance ~seed ?max_rounds () =
   in
   let states = Flooding.init ~instance () in
   let result, states =
-    Engine.Runner_broadcast.run Flooding.protocol ~states ~adversary
+    Engine.Runner_broadcast.run Flooding.protocol ?obs ~states ~adversary
       ~max_rounds
       ~stop:(Flooding.all_complete ~k)
       ()
   in
   (result, states, lb)
 
-let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds () =
+let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
@@ -87,41 +87,41 @@ let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds () =
   in
   let states = Greedy_bcast.init ~instance ~policy ~seed () in
   let result, states =
-    Engine.Runner_broadcast.run Greedy_bcast.protocol ~states ~adversary
+    Engine.Runner_broadcast.run Greedy_bcast.protocol ?obs ~states ~adversary
       ~max_rounds
       ~stop:(Greedy_bcast.all_complete ~k)
       ()
   in
   (result, states, lb)
 
-let random_push ~instance ~env ~seed ?max_rounds () =
+let random_push ~instance ~env ~seed ?max_rounds ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(4 * default_unicast_cap ~n ~k)
   in
   let states = Random_push.init ~instance ~seed in
-  Engine.Runner_unicast.run Random_push.protocol ~states
+  Engine.Runner_unicast.run Random_push.protocol ?obs ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Random_push.all_complete ~k)
     ()
 
-let leader_election ~n ~env ?max_rounds () =
+let leader_election ~n ~env ?max_rounds ?obs () =
   let max_rounds = Option.value max_rounds ~default:((8 * n * n) + 64) in
   let states = Leader_election.init ~n in
-  Engine.Runner_unicast.run Leader_election.protocol ~states
+  Engine.Runner_unicast.run Leader_election.protocol ?obs ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Leader_election.elected ~n)
     ()
 
-let coded_broadcast ~instance ~schedule ~seed ?max_rounds () =
+let coded_broadcast ~instance ~schedule ~seed ?max_rounds ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Coded_bcast.init ~instance ~seed in
-  Engine.Runner_broadcast.run Coded_bcast.protocol ~states
+  Engine.Runner_broadcast.run Coded_bcast.protocol ?obs ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds
     ~stop:(Coded_bcast.all_decoded ~k)

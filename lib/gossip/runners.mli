@@ -4,7 +4,12 @@
     to an adversary and an instance, picks sound default round caps
     (generous multiples of the paper's proved round bounds), runs the
     engine, and returns the {!Engine.Run_result.t} plus the final node
-    states for inspection. *)
+    states for inspection.
+
+    Every runner forwards an optional [?obs] event sink to the engine
+    (default {!Obs.Sink.null}, costing nothing); pass
+    {!Obs.Sink.Memory} or {!Obs.Sink.Jsonl} to capture the per-round
+    {!Obs.Trace} stream. *)
 
 type unicast_env =
   | Oblivious of Adversary.Schedule.t
@@ -24,6 +29,7 @@ val single_source :
   env:unicast_env ->
   ?max_rounds:int ->
   ?config:Single_source.config ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Single_source.state array
 (** Algorithm 1 ([config] defaults to the paper's behaviour; the other
@@ -36,6 +42,7 @@ val multi_source :
   ?max_rounds:int ->
   ?source_order:Multi_source.source_order ->
   ?seed:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Multi_source.state array
 (** [source_order] defaults to the paper's min-source rule; the random
@@ -46,6 +53,7 @@ val flooding :
   schedule:Adversary.Schedule.t ->
   ?phase_len:int ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Flooding.state array
 (** Phased flooding against an oblivious schedule. *)
@@ -54,6 +62,7 @@ val flooding_vs_lower_bound :
   instance:Instance.t ->
   seed:int ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Flooding.state array * Adversary.Broadcast_lb.t
 (** Phased flooding against the Section-2 strongly adaptive adversary.
@@ -65,6 +74,7 @@ val greedy_vs_lower_bound :
   policy:Greedy_bcast.policy ->
   seed:int ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Greedy_bcast.state array * Adversary.Broadcast_lb.t
 (** An unstructured broadcast heuristic against the same adversary.
@@ -76,6 +86,7 @@ val random_push :
   env:unicast_env ->
   seed:int ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Random_push.state array
 (** The unstructured push baseline (ablation: what the
@@ -85,6 +96,7 @@ val leader_election :
   n:int ->
   env:unicast_env ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Leader_election.state array
 (** Max-id leader election under the adversary-competitive lens (the
@@ -96,6 +108,7 @@ val coded_broadcast :
   schedule:Adversary.Schedule.t ->
   seed:int ->
   ?max_rounds:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Coded_bcast.state array
 (** Network-coding gossip (not token-forwarding; see {!Coded_bcast}).
@@ -110,6 +123,7 @@ val oblivious_rw :
   ?force_rw:bool ->
   ?phase1_cap:int ->
   ?phase2_cap:int ->
+  ?obs:Obs.Sink.t ->
   unit ->
   Oblivious_rw.result
 (** Algorithm 2 (re-exported from {!Oblivious_rw.run}). *)

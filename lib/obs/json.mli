@@ -1,0 +1,44 @@
+(** A minimal JSON document type with a hand-rolled encoder and parser.
+
+    The observability layer must stay dependency-free (no new opam
+    packages), so this module implements just enough of RFC 8259 to
+    write and read back the traces, metrics, and run reports this
+    library produces: all seven value kinds, string escaping, and a
+    strict recursive-descent parser.  It is not a general-purpose JSON
+    library — there is no streaming, no number-precision haggling, and
+    duplicate object keys are kept as-is (first one wins in {!member}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) encoding.  Non-finite floats have no JSON
+    representation and are encoded as [null]; integral floats are
+    printed with a trailing [.0] so they parse back as [Float]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] followed by a newline — one NDJSON line.  Does not
+    flush. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of exactly one JSON document (surrounding whitespace
+    allowed).  [Error msg] carries a byte offset.  Numbers without
+    [./e/E] become [Int]; everything else numeric becomes [Float].
+    [\uXXXX] escapes are decoded to UTF-8 (surrogate pairs included). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] as [Some n]; anything else [None]. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float; anything else [None]. *)

@@ -1,0 +1,95 @@
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type t = {
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;
+      (* samples kept reversed; [samples] restores order *)
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let incr t ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  let old = Option.value (Hashtbl.find_opt t.counters name) ~default:0 in
+  Hashtbl.replace t.counters name (old + by)
+
+let counter t name = Option.value (Hashtbl.find_opt t.counters name) ~default:0
+let set_gauge t name v = Hashtbl.replace t.gauges name v
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+let observe t name v =
+  match Hashtbl.find_opt t.histograms name with
+  | Some cell -> cell := v :: !cell
+  | None -> Hashtbl.replace t.histograms name (ref [ v ])
+
+let samples t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let summarize = function
+  | [] -> None
+  | xs ->
+      Some
+        {
+          count = List.length xs;
+          sum = List.fold_left ( +. ) 0. xs;
+          min = Stats.minimum xs;
+          max = Stats.maximum xs;
+          mean = Stats.mean xs;
+          p50 = Stats.percentile xs ~p:50.;
+          p95 = Stats.percentile xs ~p:95.;
+          p99 = Stats.percentile xs ~p:99.;
+        }
+
+let summary t name = summarize (samples t name)
+
+let names t =
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq String.compare
+    (keys t.counters @ keys t.gauges @ keys t.histograms)
+
+let sorted_fields of_value tbl =
+  Hashtbl.fold (fun k v acc -> (k, of_value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count); ("sum", Json.Float s.sum);
+      ("min", Json.Float s.min); ("max", Json.Float s.max);
+      ("mean", Json.Float s.mean); ("p50", Json.Float s.p50);
+      ("p95", Json.Float s.p95); ("p99", Json.Float s.p99);
+    ]
+
+let to_json t =
+  let histogram_fields =
+    Hashtbl.fold
+      (fun k cell acc ->
+        match summarize (List.rev !cell) with
+        | None -> acc
+        | Some s -> (k, summary_to_json s) :: acc)
+      t.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted_fields (fun n -> Json.Int n) t.counters));
+      ("gauges", Json.Obj (sorted_fields (fun v -> Json.Float v) t.gauges));
+      ("histograms", Json.Obj histogram_fields);
+    ]

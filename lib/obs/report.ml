@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  completed : bool;
+  rounds : int;
+  messages : int;
+  class_counts : (string * int) list;
+  tc : int;
+  removals : int;
+  learnings : int;
+  alpha : float;
+  competitive_cost : float;
+  max_load : int;
+  mean_load : float;
+  load_summary : Metrics.summary option;
+  timeline : (int * int * int) list;
+  extra : (string * Json.t) list;
+}
+
+let make ~name ~completed ~rounds ~messages ~class_counts ~tc ~removals
+    ~learnings ~alpha ~competitive_cost ~max_load ~mean_load ?load_summary
+    ?(timeline = []) ?(extra = []) () =
+  {
+    name;
+    completed;
+    rounds;
+    messages;
+    class_counts;
+    tc;
+    removals;
+    learnings;
+    alpha;
+    competitive_cost;
+    max_load;
+    mean_load;
+    load_summary;
+    timeline;
+    extra;
+  }
+
+let summary_field = function
+  | None -> []
+  | Some s -> [ ("load_summary", Metrics.summary_to_json s) ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("schema", Json.String "dynspread-report/v1");
+       ("name", Json.String t.name);
+       ("completed", Json.Bool t.completed);
+       ("rounds", Json.Int t.rounds);
+       ("messages", Json.Int t.messages);
+       ( "class_counts",
+         Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) t.class_counts) );
+       ("tc", Json.Int t.tc);
+       ("removals", Json.Int t.removals);
+       ("learnings", Json.Int t.learnings);
+       ("alpha", Json.Float t.alpha);
+       ("competitive_cost", Json.Float t.competitive_cost);
+       ("max_load", Json.Int t.max_load);
+       ("mean_load", Json.Float t.mean_load);
+     ]
+    @ summary_field t.load_summary
+    @ [
+        ( "timeline",
+          Json.List
+            (List.map
+               (fun (r, msgs, progress) ->
+                 Json.Obj
+                   [
+                     ("round", Json.Int r); ("messages", Json.Int msgs);
+                     ("progress", Json.Int progress);
+                   ])
+               t.timeline) );
+      ]
+    @ t.extra)
+
+let pp ppf t = Format.pp_print_string ppf (Json.to_string (to_json t))

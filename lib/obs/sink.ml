@@ -1,0 +1,28 @@
+type t =
+  | Null
+  | Memory of Trace.event list ref
+  | Jsonl of out_channel
+  | Multi of t list
+  | Custom of (Trace.event -> unit)
+
+let null = Null
+let memory () = Memory (ref [])
+let is_null = function Null -> true | _ -> false
+
+let rec emit t ev =
+  match t with
+  | Null -> ()
+  | Memory cell -> cell := ev :: !cell
+  | Jsonl oc -> Json.to_channel oc (Trace.to_json ev)
+  | Multi sinks -> List.iter (fun s -> emit s ev) sinks
+  | Custom f -> f ev
+
+let events = function
+  | Memory cell -> List.rev !cell
+  | Null | Jsonl _ | Multi _ | Custom _ ->
+      invalid_arg "Sink.events: not a memory sink"
+
+let rec flush = function
+  | Jsonl oc -> Stdlib.flush oc
+  | Multi sinks -> List.iter flush sinks
+  | Null | Memory _ | Custom _ -> ()

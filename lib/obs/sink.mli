@@ -1,0 +1,36 @@
+(** Pluggable destinations for {!Trace} events.
+
+    The engines take a sink as an optional parameter defaulting to
+    {!null}; hot paths hoist one {!is_null} check out of their loops,
+    so with the default sink no event is ever allocated and tracing
+    costs nothing. *)
+
+type t =
+  | Null  (** Discard everything (the default). *)
+  | Memory of Trace.event list ref
+      (** Accumulate in memory (most recent first; see {!events}). *)
+  | Jsonl of out_channel
+      (** One NDJSON line per event, written immediately (the channel
+          is the caller's to open, flush, and close). *)
+  | Multi of t list  (** Fan out to several sinks in order. *)
+  | Custom of (Trace.event -> unit)  (** Arbitrary callback. *)
+
+val null : t
+(** {!Null}. *)
+
+val memory : unit -> t
+(** A fresh {!Memory} sink. *)
+
+val is_null : t -> bool
+(** True only for {!Null} (a [Multi []] is not considered null: the
+    caller asked for fan-out, however pointless). *)
+
+val emit : t -> Trace.event -> unit
+
+val events : t -> Trace.event list
+(** The events a {!Memory} sink received, in emission order.
+    @raise Invalid_argument on any other sink. *)
+
+val flush : t -> unit
+(** Flush any buffered output ({!Jsonl} channels, recursively through
+    {!Multi}); no-op elsewhere. *)

@@ -1,0 +1,30 @@
+(** Small numerical helpers for experiment sweeps. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for singleton lists.
+    @raise Invalid_argument on an empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val median : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [0, 100].
+    @raise Invalid_argument on an empty list or [p] out of range. *)
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares fit [y = a + b·x]; returns [(a, b)].
+    @raise Invalid_argument with fewer than two points or degenerate
+    x-values. *)
+
+val loglog_slope : (float * float) list -> float
+(** Slope of the least-squares line through [(log x, log y)]: the
+    empirical growth exponent used by the shape checks (e.g. Theorem
+    3.8 predicts total messages ∝ k^{1/4} at fixed n).  Points with
+    non-positive coordinates are dropped.
+    @raise Invalid_argument if fewer than two usable points remain. *)

@@ -1,0 +1,25 @@
+let now_s () = Unix.gettimeofday ()
+
+type span = { name : string; began : float }
+
+let start name = { name; began = now_s () }
+let name span = span.name
+let elapsed_s span = Float.max 0. (now_s () -. span.began)
+
+let record ?metrics span =
+  let dt = elapsed_s span in
+  (match metrics with
+  | Some m -> Metrics.observe m span.name dt
+  | None -> ());
+  dt
+
+let time f =
+  let span = start "time" in
+  let result = f () in
+  (result, elapsed_s span)
+
+let observe_span ?metrics ~name f =
+  let span = start name in
+  Fun.protect
+    ~finally:(fun () -> ignore (record ?metrics span))
+    f

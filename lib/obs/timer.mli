@@ -1,0 +1,38 @@
+(** Wall-clock spans for the engines' round loops and the experiment
+    harness.
+
+    Spans answer "where does simulator time go": each one measures the
+    elapsed wall-clock of a named region and can record it into a
+    {!Metrics} histogram (in seconds), so p50/p95/p99 per-region
+    latencies fall out of {!Metrics.summary}.
+
+    The clock is [Unix.gettimeofday] — the best no-new-dependency
+    approximation of a monotonic clock available here (OCaml's stdlib
+    has none and the repo policy forbids new opam packages).  Spans are
+    clamped to be non-negative, so an NTP step cannot produce negative
+    durations; sub-microsecond readings are below its resolution. *)
+
+val now_s : unit -> float
+(** Current wall-clock in seconds (arbitrary epoch; use differences). *)
+
+type span
+
+val start : string -> span
+(** Begin a named span. *)
+
+val name : span -> string
+
+val elapsed_s : span -> float
+(** Seconds since [start], clamped to [>= 0].  The span may be read
+    multiple times; it has no stop state. *)
+
+val record : ?metrics:Metrics.t -> span -> float
+(** [elapsed_s], additionally observed into [metrics] under the span's
+    name when given. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Run a thunk, returning its result and elapsed seconds. *)
+
+val observe_span : ?metrics:Metrics.t -> name:string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a span; the duration is recorded into [metrics]
+    (when given) even if the thunk raises. *)

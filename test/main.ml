@@ -12,4 +12,5 @@ let () =
       ("conformance", Test_conformance.suite);
       ("leader-election", Test_leader.suite);
       ("weak-adversary", Test_weak.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -95,6 +95,17 @@ let test_lower_bound_experiment_small () =
   check Alcotest.bool "shape checks pass" true (notes_all_pass t);
   check Alcotest.int "four strategies" 4 (List.length (Analysis.Table.rows t))
 
+let test_experiment_records_span () =
+  let metrics = Obs.Metrics.create () in
+  ignore (Analysis.Experiments.environments ~n:8 ~rounds:5 ~metrics ~seed:3 ());
+  ignore (Analysis.Experiments.environments ~n:8 ~rounds:5 ~metrics ~seed:4 ());
+  match Obs.Metrics.summary metrics "experiment/e0-environments" with
+  | None -> Alcotest.fail "experiment span not recorded"
+  | Some s ->
+      check Alcotest.int "one sample per run" 2 s.Obs.Metrics.count;
+      check Alcotest.bool "wall-clock non-negative" true
+        (s.Obs.Metrics.min >= 0.)
+
 let test_experiments_deterministic () =
   let render () =
     Analysis.Table.render (Analysis.Experiments.free_edges ~n:16 ~trials:5 ~seed:9 ())
@@ -119,5 +130,6 @@ let suite =
      test_multi_source_experiment_small);
     ("experiment: lower bound (small)", `Quick,
      test_lower_bound_experiment_small);
+    ("experiment records wall-clock span", `Quick, test_experiment_records_span);
     ("experiments deterministic", `Quick, test_experiments_deterministic);
   ]

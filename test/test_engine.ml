@@ -71,6 +71,58 @@ let test_ledger_merge () =
   check Alcotest.int "merged rounds" 3 (Engine.Ledger.rounds m);
   check Alcotest.int "merged learnings" 7 (Engine.Ledger.learnings m)
 
+let test_ledger_merge_full_accounting () =
+  (* merge must add every dimension: class counts, TC, removals, rounds,
+     learnings, and per-node loads. *)
+  let open Dynet in
+  let a = Engine.Ledger.create () and b = Engine.Ledger.create () in
+  Engine.Ledger.record a Engine.Msg_class.Token 4;
+  Engine.Ledger.record a Engine.Msg_class.Request 1;
+  Engine.Ledger.record b Engine.Msg_class.Token 6;
+  Engine.Ledger.record b Engine.Msg_class.Walk 2;
+  (* a: empty -> path(4): +3 edges.  b: path(4) -> star(4): +2, -2. *)
+  Engine.Ledger.note_graph_change a ~prev:(Graph.empty ~n:4)
+    ~cur:(Graph_gen.path ~n:4);
+  Engine.Ledger.note_graph_change b ~prev:(Graph_gen.path ~n:4)
+    ~cur:(Graph_gen.star ~n:4);
+  Engine.Ledger.record_sender a 0 5;
+  Engine.Ledger.record_sender b 0 1;
+  Engine.Ledger.record_sender b 2 4;
+  let m = Engine.Ledger.merge a b in
+  check Alcotest.int "token counts add" 10
+    (Engine.Ledger.count m Engine.Msg_class.Token);
+  check Alcotest.int "request from a only" 1
+    (Engine.Ledger.count m Engine.Msg_class.Request);
+  check Alcotest.int "walk from b only" 2
+    (Engine.Ledger.count m Engine.Msg_class.Walk);
+  check Alcotest.int "tc adds" 5 (Engine.Ledger.tc m);
+  check Alcotest.int "removals add" 2 (Engine.Ledger.removals m);
+  check Alcotest.int "shared sender load adds" 6 (Engine.Ledger.sender_load m 0);
+  check Alcotest.int "b-only sender kept" 4 (Engine.Ledger.sender_load m 2);
+  check Alcotest.int "merged max load" 6 (Engine.Ledger.max_load m);
+  check (Alcotest.float 1e-9) "merged mean load" 5. (Engine.Ledger.mean_load m);
+  (* merge leaves its inputs untouched *)
+  check Alcotest.int "input a untouched" 5 (Engine.Ledger.total a);
+  check Alcotest.int "input b untouched" 8 (Engine.Ledger.total b)
+
+let test_ledger_record_sender_negative () =
+  let l = Engine.Ledger.create () in
+  Alcotest.check_raises "negative sender load rejected"
+    (Invalid_argument "Ledger.record_sender: negative message count")
+    (fun () -> Engine.Ledger.record_sender l 0 (-1))
+
+let test_ledger_load_list () =
+  let l = Engine.Ledger.create () in
+  check (Alcotest.list Alcotest.int) "empty ledger, empty loads" []
+    (Engine.Ledger.load_list l);
+  Engine.Ledger.record_sender l 1 3;
+  Engine.Ledger.record_sender l 4 7;
+  Engine.Ledger.record_sender l 1 2;
+  check
+    (Alcotest.list Alcotest.int)
+    "one entry per sender, merged per node" [ 5; 7 ]
+    (List.sort compare (Engine.Ledger.load_list l))
+
 let test_ledger_copy_isolated () =
   let a = Engine.Ledger.create () in
   Engine.Ledger.record a Engine.Msg_class.Token 1;
@@ -132,6 +184,18 @@ let test_stats_loglog_slope () =
       (x, 5. *. (x ** 3.)))
   in
   check (Alcotest.float 1e-6) "slope 3" 3. (Engine.Stats.loglog_slope points)
+
+let test_stats_percentile_edges () =
+  let xs = [ 4.; 1.; 3.; 2. ] in
+  check (Alcotest.float 1e-9) "p0 = min" 1. (Engine.Stats.percentile xs ~p:0.);
+  check (Alcotest.float 1e-9) "p100 = max" 4.
+    (Engine.Stats.percentile xs ~p:100.);
+  check (Alcotest.float 1e-9) "singleton p0" 9.
+    (Engine.Stats.percentile [ 9. ] ~p:0.);
+  check (Alcotest.float 1e-9) "singleton p50" 9.
+    (Engine.Stats.percentile [ 9. ] ~p:50.);
+  check (Alcotest.float 1e-9) "singleton p100" 9.
+    (Engine.Stats.percentile [ 9. ] ~p:100.)
 
 let test_stats_empty_raises () =
   Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty list")
@@ -444,6 +508,10 @@ let suite =
     ("ledger learnings", `Quick, test_ledger_progress_learnings);
     ("ledger competitive cost", `Quick, test_ledger_competitive);
     ("ledger merge", `Quick, test_ledger_merge);
+    ("ledger merge full accounting", `Quick, test_ledger_merge_full_accounting);
+    ("ledger record_sender rejects negatives", `Quick,
+     test_ledger_record_sender_negative);
+    ("ledger load list", `Quick, test_ledger_load_list);
     ("ledger copy isolation", `Quick, test_ledger_copy_isolated);
     ("ledger sender loads", `Quick, test_ledger_sender_loads);
     ("runner attributes loads", `Quick, test_runner_attributes_loads);
@@ -451,6 +519,7 @@ let suite =
     ("stats basics", `Quick, test_stats_basics);
     ("stats linear fit", `Quick, test_stats_linear_fit);
     ("stats loglog slope", `Quick, test_stats_loglog_slope);
+    ("stats percentile edges", `Quick, test_stats_percentile_edges);
     ("stats empty raises", `Quick, test_stats_empty_raises);
     ("broadcast runner floods a ring", `Quick, test_broadcast_runner_flood);
     ("broadcast runner respects solved instances", `Quick,
