@@ -161,6 +161,38 @@ let bench_e13_leader () =
     let r, _ = Gossip.Runners.leader_election ~n ~env () in
     assert r.Engine.Run_result.completed
 
+let bench_e15_fault_none_overhead () =
+  (* The null fault plan must cost (almost) nothing: the exact e4
+     workload with [Faults.Plan.none] passed explicitly — compare the
+     two entries to see what the fault layer's identity path costs. *)
+  let n = 16 and k = 32 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious
+        (Adversary.Schedule.stabilized ~sigma:3
+           (Adversary.Oblivious.tree_rotator ~seed ~n))
+    in
+    let r, _ =
+      Gossip.Runners.single_source ~instance ~env ~faults:Faults.Plan.none ()
+    in
+    assert r.Engine.Run_result.completed
+
+let bench_e15_reliable_under_loss () =
+  let n = 12 and k = 12 in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  let faults = Faults.Plan.make ~loss:0.2 ~seed () in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious
+        (Adversary.Schedule.stabilized ~sigma:3
+           (Adversary.Oblivious.tree_rotator ~seed ~n))
+    in
+    let r, _, _ =
+      Gossip.Runners.reliable_single_source ~instance ~env ~faults ()
+    in
+    assert r.Engine.Run_result.completed
+
 let bench_e14_weak_adversary () =
   let n = 48 in
   let adv = Adversary.Weak_bcast.make ~seed ~n in
@@ -197,6 +229,10 @@ let tests =
         (Staged.stage (bench_e13_leader ()));
       Test.make ~name:"e14/adaptivity:weak-round"
         (Staged.stage (bench_e14_weak_adversary ()));
+      Test.make ~name:"e15/faults:none-overhead"
+        (Staged.stage (bench_e15_fault_none_overhead ()));
+      Test.make ~name:"e15/faults:reliable-loss20"
+        (Staged.stage (bench_e15_reliable_under_loss ()));
     ]
 
 (* Runs the micro-benchmarks, prints the human table, and returns the

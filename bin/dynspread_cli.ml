@@ -62,6 +62,101 @@ let print_table ~csv t =
     print_newline ())
   else Analysis.Table.print t
 
+(* {2 Fault-injection flags}
+
+   Shared by `run`: all default to "no faults", and all-zero rates
+   compile to [Faults.Plan.none], the identity. *)
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Drop each transmitted message with probability $(docv).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "dup-rate" ] ~docv:"P"
+        ~doc:"Duplicate each surviving message with probability $(docv).")
+
+let crash_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "crash-rate" ] ~docv:"P"
+        ~doc:
+          "Crash each live node (full state loss) with per-round \
+           probability $(docv).")
+
+let restart_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "restart-rate" ] ~docv:"P"
+        ~doc:
+          "Restart each crashed node (from its initial state) with \
+           per-round probability $(docv).")
+
+let max_delay_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-delay" ] ~docv:"R"
+        ~doc:
+          "Delay each surviving message by a uniform 0..$(docv) rounds.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the fault plan's random streams (default: --seed), \
+           so the same topology can be replayed under different fault \
+           trajectories.")
+
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "Wrap the unicast protocol in the ack/retransmit reliability \
+           wrapper (single-source and multi-source only).")
+
+(* Numeric-flag validation, bench/main.exe style: error line, usage,
+   exit 2 — cmdliner's own failures keep their usual exit code, this
+   path is for values that parse but make no sense. *)
+let flags_usage () =
+  prerr_endline
+    "usage: --loss/--dup-rate/--crash-rate/--restart-rate take a \
+     probability in [0, 1];";
+  prerr_endline
+    "       --max-delay takes a round count >= 0; --seed/--fault-seed \
+     take a seed >= 0"
+
+let bad_flag fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("error: " ^ msg);
+      flags_usage ();
+      exit 2)
+    fmt
+
+let validate_prob ~flag p =
+  if not (Float.is_finite p && p >= 0. && p <= 1.) then
+    bad_flag "--%s %g is not a probability in [0, 1]" flag p
+
+let validate_seed ~flag s = if s < 0 then bad_flag "--%s %d is negative" flag s
+
+let fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed =
+  validate_prob ~flag:"loss" loss;
+  validate_prob ~flag:"dup-rate" dup;
+  validate_prob ~flag:"crash-rate" crash;
+  validate_prob ~flag:"restart-rate" restart;
+  if max_delay < 0 then bad_flag "--max-delay %d is negative" max_delay;
+  validate_seed ~flag:"seed" seed;
+  Option.iter (validate_seed ~flag:"fault-seed") fault_seed;
+  Faults.Plan.make ~loss ~dup ~crash ~restart ~max_delay
+    ~seed:(Option.value fault_seed ~default:seed)
+    ()
+
 (* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise. *)
 let with_trace trace f =
   match trace with
@@ -174,19 +269,23 @@ let timeline_arg =
 let print_json_report report =
   print_endline (Obs.Json.to_string (Obs.Report.to_json report))
 
-let report_run ?(timeline = false) ?(json = false) ~name ~n ~k
+let report_run ?(timeline = false) ?(json = false) ?retransmits ~name ~n ~k
     (result : Engine.Run_result.t) =
   let ledger = result.ledger in
   if json then
     print_json_report
       (Engine.Run_result.to_report ~name
          ~extra:
-           [
-             ( "amortized_per_token",
-               Obs.Json.Float (Engine.Ledger.amortized ledger ~k) );
-             ( "budget_n2_nk",
-               Obs.Json.Float (Gossip.Bounds.single_source_budget ~n ~k) );
-           ]
+           ([
+              ( "amortized_per_token",
+                Obs.Json.Float (Engine.Ledger.amortized ledger ~k) );
+              ( "budget_n2_nk",
+                Obs.Json.Float (Gossip.Bounds.single_source_budget ~n ~k) );
+            ]
+           @
+           match retransmits with
+           | None -> []
+           | Some r -> [ ("retransmits", Obs.Json.Int r) ])
          result)
   else begin
     Format.printf "@[<v>%a@]@." Engine.Run_result.pp result;
@@ -199,6 +298,9 @@ let report_run ?(timeline = false) ?(json = false) ~name ~n ~k
     Format.printf "per-node load: max %d, mean %.1f@."
       (Engine.Ledger.max_load ledger)
       (Engine.Ledger.mean_load ledger);
+    (match retransmits with
+    | None -> ()
+    | Some r -> Format.printf "reliability wrapper: %d retransmissions@." r);
     if timeline then begin
       Format.printf "@.round,messages,learnings@.";
       List.iter
@@ -214,7 +316,7 @@ let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
     Engine.Run_result.make
       ~rounds:(r.Gossip.Oblivious_rw.phase1_rounds + r.Gossip.Oblivious_rw.phase2_rounds)
       ~completed:r.Gossip.Oblivious_rw.completed
-      ~ledger:r.Gossip.Oblivious_rw.ledger ~timeline:[]
+      ~ledger:r.Gossip.Oblivious_rw.ledger ~timeline:[] ()
   in
   Engine.Run_result.to_report ~name
     ~extra:
@@ -234,7 +336,12 @@ let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
 
 let run_cmd =
   let doc = "Run one protocol in one environment and print the cost ledger." in
-  let run protocol env n k s sigma seed timeline trace json =
+  let run protocol env n k s sigma seed loss dup crash restart max_delay
+      fault_seed reliable timeline trace json =
+    let faults =
+      fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed
+    in
+    let faulty = not (Faults.Plan.is_none faults) in
     let name = protocol_name protocol ^ "/" ^ env_name env in
     with_trace trace @@ fun obs ->
     let instance =
@@ -247,19 +354,50 @@ let run_cmd =
               ~rng:(Dynet.Rng.make ~seed:(seed + 1))
               ~n ~k ~s:(min s (min n k))
     in
+    let run_unicast envv =
+      match (protocol, reliable) with
+      | Single, true ->
+          let result, _, rt =
+            Gossip.Runners.reliable_single_source ~instance ~env:envv ~faults
+              ~obs ()
+          in
+          (result, Some rt)
+      | Single, false ->
+          ( fst
+              (Gossip.Runners.single_source ~instance ~env:envv ~faults ~obs ()),
+            None )
+      | (Multi | Flooding | Rw), true ->
+          let result, _, rt =
+            Gossip.Runners.reliable_multi_source ~instance ~env:envv ~faults
+              ~obs ()
+          in
+          (result, Some rt)
+      | (Multi | Flooding | Rw), false ->
+          ( fst
+              (Gossip.Runners.multi_source ~instance ~env:envv ~faults ~obs ()),
+            None )
+    in
     match (protocol, env) with
+    | (Flooding | Rw), _ when reliable ->
+        `Error
+          (false,
+           "--reliable wraps a unicast protocol: use single-source or \
+            multi-source")
+    | Rw, _ when faulty ->
+        `Error
+          (false,
+           "oblivious-rw does not take a fault plan yet; drop the fault flags")
+    | Flooding, Env_lb when faulty ->
+        `Error
+          (false,
+           "the lower-bound adversary models worst-case scheduling, not \
+            faults; drop the fault flags")
     | (Single | Multi), Env_cutter ->
         let envv =
           Gossip.Runners.Request_cutting { seed; cut_prob = 0.7 }
         in
-        let result =
-          match protocol with
-          | Single ->
-              fst (Gossip.Runners.single_source ~instance ~env:envv ~obs ())
-          | Multi | Flooding | Rw ->
-              fst (Gossip.Runners.multi_source ~instance ~env:envv ~obs ())
-        in
-        report_run ~timeline ~json ~name ~n ~k result;
+        let result, rt = run_unicast envv in
+        report_run ~timeline ~json ?retransmits:rt ~name ~n ~k result;
         `Ok ()
     | Flooding, Env_lb ->
         let result, _, lb =
@@ -286,23 +424,15 @@ let run_cmd =
             match protocol with
             | Flooding ->
                 let result, _ =
-                  Gossip.Runners.flooding ~instance ~schedule ~obs ()
+                  Gossip.Runners.flooding ~instance ~schedule ~faults ~obs ()
                 in
                 report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
-            | Single ->
-                let result, _ =
-                  Gossip.Runners.single_source ~instance
-                    ~env:(Gossip.Runners.Oblivious schedule) ~obs ()
+            | Single | Multi ->
+                let result, rt =
+                  run_unicast (Gossip.Runners.Oblivious schedule)
                 in
-                report_run ~timeline ~json ~name ~n ~k result;
-                `Ok ()
-            | Multi ->
-                let result, _ =
-                  Gossip.Runners.multi_source ~instance
-                    ~env:(Gossip.Runners.Oblivious schedule) ~obs ()
-                in
-                report_run ~timeline ~json ~name ~n ~k result;
+                report_run ~timeline ~json ?retransmits:rt ~name ~n ~k result;
                 `Ok ()
             | Rw ->
                 let r =
@@ -330,7 +460,9 @@ let run_cmd =
     Term.(
       ret
         (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
-        $ sigma_arg $ seed_arg $ timeline_arg $ trace_arg $ json_arg))
+        $ sigma_arg $ seed_arg $ loss_arg $ dup_arg $ crash_arg $ restart_arg
+        $ max_delay_arg $ fault_seed_arg $ reliable_arg $ timeline_arg
+        $ trace_arg $ json_arg))
 
 (* {2 experiments} *)
 
@@ -339,6 +471,7 @@ let experiment_names =
     ("e0", `E0); ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4);
     ("e6", `E6); ("e7", `E7); ("e8", `E8); ("e9", `E9); ("e10", `E10);
     ("e11", `E11); ("e12", `E12); ("e13", `E13); ("e14", `E14);
+    ("e15", `E15); ("e16", `E16);
   ]
 
 let timings_arg =
@@ -359,7 +492,7 @@ let experiments_cmd =
       & pos_all (Arg.enum experiment_names) []
       & info [] ~docv:"ID"
           ~doc:
-            "Experiment ids (e0 e1 ... e14); default: all.")
+            "Experiment ids (e0 e1 ... e16); default: all.")
   in
   let run ids csv seed timings =
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
@@ -382,6 +515,8 @@ let experiments_cmd =
           | `E12 -> Analysis.Experiments.coding_gap ?metrics ~seed ()
           | `E13 -> Analysis.Experiments.leader_election ?metrics ~seed ()
           | `E14 -> Analysis.Experiments.adaptivity ?metrics ~seed ()
+          | `E15 -> Analysis.Experiments.robustness_loss ?metrics ~seed ()
+          | `E16 -> Analysis.Experiments.robustness_crash ?metrics ~seed ()
         in
         print_table ~csv table)
       selected;
@@ -588,4 +723,17 @@ let main_cmd =
       sweep_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* The engine's violation exceptions mean a protocol or adversary
+   broke the model mid-run — a bug in what was wired together, not in
+   the user's invocation.  Catch them at the command boundary and turn
+   them into a one-line diagnostic with a distinct exit code (3, vs
+   cmdliner's own codes for CLI misuse). *)
+let () =
+  match Cmd.eval main_cmd with
+  | code -> exit code
+  | exception Engine.Engine_error.Protocol_violation msg ->
+      prerr_endline ("dynspread: protocol violation: " ^ msg);
+      exit 3
+  | exception Engine.Engine_error.Adversary_violation msg ->
+      prerr_endline ("dynspread: adversary violation: " ^ msg);
+      exit 3

@@ -1076,6 +1076,183 @@ let adaptivity ?(n = 32) ?budget ?metrics ~seed () =
       ]
     (rows_a @ rows_b)
 
+(* {2 E15 — robustness tax: message loss} *)
+
+let outcome_cell (result : Engine.Run_result.t) =
+  match result.Engine.Run_result.outcome with
+  | Engine.Run_result.Completed -> "completed"
+  | Engine.Run_result.Partial _ as o -> (
+      match Engine.Run_result.coverage o with
+      | Some c -> Printf.sprintf "partial %.0f%%" (100. *. c)
+      | None -> "partial")
+  | Engine.Run_result.Aborted _ -> "aborted"
+
+let fault_count (result : Engine.Run_result.t) field =
+  match result.Engine.Run_result.fault_counts with
+  | None -> 0
+  | Some c -> (
+      match List.assoc_opt field (Faults.Counts.to_fields c) with
+      | Some v -> v
+      | None -> 0)
+
+let inflation ~baseline v =
+  if baseline = 0 then Float.nan else float_of_int v /. float_of_int baseline
+
+let robustness_loss ?(n = 16) ?(k = 16)
+    ?(rates = [ 0.; 0.05; 0.1; 0.2; 0.5; 0.8 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e15-robustness-loss" @@ fun () ->
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  (* The same 3-edge-stable environment for every run: the sweep
+     varies only the fault plan, so cost deltas are the robustness
+     tax and nothing else. *)
+  let env () =
+    Gossip.Runners.Oblivious
+      (stable (Adversary.Oblivious.tree_rotator ~seed:(seed + 1) ~n))
+  in
+  let plan loss =
+    Faults.Plan.make ~loss ~seed:(seed + int_of_float (1000. *. loss)) ()
+  in
+  let baseline_msgs = ref 0 in
+  let reliable_all_complete = ref true in
+  let coverage_dominates = ref true in
+  let bare_degrades = ref false in
+  let cov (r : Engine.Run_result.t) =
+    Option.value
+      (Engine.Run_result.coverage r.Engine.Run_result.outcome)
+      ~default:0.
+  in
+  let rows = ref [] in
+  List.iter
+    (fun loss ->
+      let faults = plan loss in
+      let bare, _ =
+        Gossip.Runners.single_source ~instance ~env:(env ()) ~faults ()
+      in
+      let reliable, _, retransmits =
+        Gossip.Runners.reliable_single_source ~instance ~env:(env ()) ~faults
+          ()
+      in
+      if loss = 0. then baseline_msgs := Engine.Run_result.messages bare;
+      if loss <= 0.2 && not reliable.Engine.Run_result.completed then
+        reliable_all_complete := false;
+      if cov reliable < cov bare -. 1e-9 then coverage_dominates := false;
+      if not bare.Engine.Run_result.completed then bare_degrades := true;
+      let row variant (result : Engine.Run_result.t) retransmits =
+        [
+          Printf.sprintf "%.2f" loss;
+          variant;
+          outcome_cell result;
+          Table.fint (Engine.Run_result.messages result);
+          string_of_int result.Engine.Run_result.rounds;
+          string_of_int (fault_count result "drops");
+          string_of_int retransmits;
+          Table.fratio
+            (inflation ~baseline:!baseline_msgs
+               (Engine.Run_result.messages result));
+        ]
+      in
+      rows :=
+        row "reliable" reliable retransmits :: row "bare" bare 0 :: !rows)
+    rates;
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "E15 (robustness tax): Single-Source-Unicast under message loss, \
+          bare vs Reliable wrapper (n = %d, k = %d, 3-edge-stable rotator)"
+         n k)
+    ~columns:
+      [ "loss"; "variant"; "outcome"; "messages"; "rounds"; "drops";
+        "retransmits"; "msg inflation" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "shape check (%s): the wrapper completes at every loss rate <= \
+           0.2, never covers less than bare, and keeps making progress at \
+           the extreme rate where bare collapses"
+          (pass_fail
+             (!reliable_all_complete && !coverage_dominates && !bare_degrades));
+        "msg inflation = messages / clean-run bare messages: the price of \
+         masking loss is acks + retransmissions, growing with the loss rate;";
+        "bare Single-Source survives moderate loss by re-requesting (its \
+         pending-request dedup resets on topology change) but deadlocks \
+         under extreme loss - and then reports a Partial outcome with \
+         coverage, not a bare failure bit.";
+      ]
+    (List.rev !rows)
+
+(* {2 E16 — robustness tax: crash-restart} *)
+
+let robustness_crash ?(n = 16) ?(k = 16)
+    ?(rates = [ 0.; 0.005; 0.01; 0.02 ]) ?metrics ~seed () =
+  timed ?metrics "experiment/e16-robustness-crash" @@ fun () ->
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  let schedule () =
+    stable (Adversary.Oblivious.tree_rotator ~seed:(seed + 2) ~n)
+  in
+  let baseline_msgs = ref 0 and baseline_rounds = ref 0 in
+  let clean_completes = ref true in
+  let all_graceful = ref true in
+  let crashes_seen = ref true in
+  let rows = ref [] in
+  List.iter
+    (fun crash ->
+      let faults =
+        Faults.Plan.make ~crash
+          ~seed:(seed + 17 + int_of_float (10000. *. crash))
+          ()
+      in
+      let result, _ =
+        Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ~faults ()
+      in
+      if crash = 0. then begin
+        baseline_msgs := Engine.Run_result.messages result;
+        baseline_rounds := result.Engine.Run_result.rounds;
+        if not result.Engine.Run_result.completed then clean_completes := false
+      end
+      else if fault_count result "crashes" = 0 then crashes_seen := false;
+      (match Engine.Run_result.coverage result.Engine.Run_result.outcome with
+      | Some c when c > 0. -> ()
+      | _ -> all_graceful := false);
+      rows :=
+        [
+          Printf.sprintf "%.3f" crash;
+          outcome_cell result;
+          Table.fint (Engine.Run_result.messages result);
+          string_of_int result.Engine.Run_result.rounds;
+          string_of_int (fault_count result "crashes");
+          string_of_int (fault_count result "restarts");
+          Table.fratio
+            (inflation ~baseline:!baseline_msgs
+               (Engine.Run_result.messages result));
+          Table.fratio
+            (inflation ~baseline:!baseline_rounds
+               result.Engine.Run_result.rounds);
+        ]
+        :: !rows)
+    rates;
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "E16 (robustness tax): phased flooding under crash-restart with \
+          state loss (n = %d, k = %d, 3-edge-stable rotator, restart p = \
+          0.25)"
+         n k)
+    ~columns:
+      [ "crash rate"; "outcome"; "messages"; "rounds"; "crashes"; "restarts";
+        "msg inflation"; "round inflation" ]
+    ~notes:
+      [
+        Printf.sprintf
+          "shape check (%s): the clean run completes, every faulty run \
+           reports a positive coverage (no silent failure), and every \
+           positive crash rate injects crashes"
+          (pass_fail (!clean_completes && !all_graceful && !crashes_seen));
+        "a restarted node re-enters with its initial state, so flooding \
+         re-teaches it every token it forgot: crash faults buy round and \
+         message inflation rather than wrong answers.";
+      ]
+    (List.rev !rows)
+
 let all ?metrics ~seed () =
   [
     environments ?metrics ~seed ();
@@ -1092,4 +1269,6 @@ let all ?metrics ~seed () =
     coding_gap ?metrics ~seed ();
     leader_election ?metrics ~seed ();
     adaptivity ?metrics ~seed ();
+    robustness_loss ?metrics ~seed ();
+    robustness_crash ?metrics ~seed ();
   ]

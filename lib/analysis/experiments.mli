@@ -92,5 +92,24 @@ val adaptivity : ?n:int -> ?budget:int -> ?metrics:Obs.Metrics.t -> seed:int -> 
     progress (token learnings) each allows an unstructured broadcaster
     within a fixed round budget.  More adaptivity, less progress. *)
 
+val robustness_loss :
+  ?n:int -> ?k:int -> ?rates:float list -> ?metrics:Obs.Metrics.t ->
+  seed:int -> unit -> Table.t
+(** E15 — beyond the paper (robustness): the message-loss tax.
+    Single-Source-Unicast on a 3-edge-stable rotator under a
+    {!Faults.Plan} loss sweep, bare vs wrapped in {!Gossip.Reliable}.
+    The bare protocol degrades to a [Partial] coverage report; the
+    wrapper completes at every swept rate, paying a message inflation
+    (acks + retransmissions) that grows with the loss rate. *)
+
+val robustness_crash :
+  ?n:int -> ?k:int -> ?rates:float list -> ?metrics:Obs.Metrics.t ->
+  seed:int -> unit -> Table.t
+(** E16 — beyond the paper (robustness): the crash-restart tax.
+    Phased flooding under node crash faults with full state loss
+    (restart p = 0.25): restarted nodes are re-taught, so crashes buy
+    round/message inflation — and at worst a graceful [Partial] or
+    [Aborted] verdict — never wrong answers. *)
+
 val all : ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t list
 (** Every experiment at its default size, in index order. *)

@@ -1,14 +1,69 @@
+type outcome =
+  | Completed
+  | Partial of { achieved : int; target : int option }
+  | Aborted of string
+
 type t = {
   rounds : int;
   completed : bool;
+  outcome : outcome;
   ledger : Ledger.t;
+  fault_counts : Faults.Counts.t option;
   timeline : (int * int * int) list;
 }
 
-let make ~rounds ~completed ~ledger ~timeline =
-  { rounds; completed; ledger; timeline }
+let coverage = function
+  | Completed -> Some 1.
+  | Partial { achieved; target = Some target } when target > 0 ->
+      Some (Float.min 1. (float_of_int achieved /. float_of_int target))
+  | Partial _ | Aborted _ -> None
+
+let make ?outcome ?fault_counts ~rounds ~completed ~ledger ~timeline () =
+  let outcome =
+    match outcome with
+    | Some o -> o
+    | None ->
+        if completed then Completed
+        else Partial { achieved = Ledger.learnings ledger; target = None }
+  in
+  { rounds; completed; outcome; ledger; fault_counts; timeline }
 
 let messages t = Ledger.total t.ledger
+
+let outcome_fields t =
+  let tag =
+    match t.outcome with
+    | Completed -> "completed"
+    | Partial _ -> "partial"
+    | Aborted _ -> "aborted"
+  in
+  let base = [ ("outcome", Obs.Json.String tag) ] in
+  let detail =
+    match t.outcome with
+    | Completed -> []
+    | Partial { achieved; target } ->
+        [ ("achieved", Obs.Json.Int achieved) ]
+        @ (match target with
+          | None -> []
+          | Some tgt -> [ ("target", Obs.Json.Int tgt) ])
+        @ (match coverage t.outcome with
+          | None -> []
+          | Some c -> [ ("coverage", Obs.Json.Float c) ])
+    | Aborted reason -> [ ("abort_reason", Obs.Json.String reason) ]
+  in
+  let faults =
+    match t.fault_counts with
+    | None -> []
+    | Some c ->
+        [
+          ( "faults",
+            Obs.Json.Obj
+              (List.map
+                 (fun (name, v) -> (name, Obs.Json.Int v))
+                 (Faults.Counts.to_fields c)) );
+        ]
+  in
+  base @ detail @ faults
 
 let to_report ?(name = "run") ?(alpha = 1.) ?(extra = []) t =
   Obs.Report.make ~name ~completed:t.completed ~rounds:t.rounds
@@ -24,9 +79,22 @@ let to_report ?(name = "run") ?(alpha = 1.) ?(extra = []) t =
     ~mean_load:(Ledger.mean_load t.ledger)
     ?load_summary:
       (Obs.Metrics.summarize (List.map float_of_int (Ledger.load_list t.ledger)))
-    ~timeline:t.timeline ~extra ()
+    ~timeline:t.timeline
+    ~extra:(outcome_fields t @ extra)
+    ()
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%s after %d rounds@ %a@]"
-    (if t.completed then "completed" else "HIT ROUND CAP")
-    t.rounds Ledger.pp t.ledger
+  let status =
+    match t.outcome with
+    | Completed -> "completed"
+    | Aborted reason -> "ABORTED (" ^ reason ^ ")"
+    | Partial { achieved; target = Some target } when target > 0 ->
+        Printf.sprintf "PARTIAL %d/%d (%.0f%% coverage)" achieved target
+          (100. *. float_of_int achieved /. float_of_int target)
+    | Partial _ -> "HIT ROUND CAP"
+  in
+  Format.fprintf ppf "@[<v>%s after %d rounds@ %a@]" status t.rounds Ledger.pp
+    t.ledger;
+  match t.fault_counts with
+  | None -> ()
+  | Some c -> Format.fprintf ppf "@ faults: %a" Faults.Counts.pp c

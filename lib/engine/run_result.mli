@@ -1,19 +1,51 @@
 (** Outcome of one simulated execution. *)
 
+(** Graceful-degradation verdict.  [Completed] — the stop predicate
+    fired.  [Partial] — the round cap was hit; [achieved] is the final
+    global progress (sum over nodes of tokens known) and [target] the
+    progress a fully successful run would have reached (when the
+    caller declared one), so [achieved/target] is the run's coverage.
+    [Aborted] — the engine detected the run could never make further
+    progress (e.g. every node crashed under a fault plan with no
+    restarts) and stopped early. *)
+type outcome =
+  | Completed
+  | Partial of { achieved : int; target : int option }
+  | Aborted of string
+
 type t = {
   rounds : int;  (** Rounds actually executed. *)
   completed : bool;
-      (** Whether the stop predicate fired before the round cap. *)
+      (** Whether the stop predicate fired before the round cap
+          (i.e. [outcome = Completed]). *)
+  outcome : outcome;  (** The graceful-degradation verdict. *)
   ledger : Ledger.t;  (** Full communication-cost accounting. *)
+  fault_counts : Faults.Counts.t option;
+      (** Per-class fault tallies — [None] when the run used
+          {!Faults.Plan.none} (the clean model). *)
   timeline : (int * int * int) list;
       (** Per-round samples [(round, cumulative messages, cumulative
           progress)] in round order; used for learning-curve plots and
           the potential-growth experiments. *)
 }
 
+val coverage : outcome -> float option
+(** Fraction of the declared target achieved: [Some 1.] for
+    [Completed], [Some (achieved/target)] (clamped to 1) for a
+    [Partial] with a known positive target, [None] otherwise. *)
+
 val make :
-  rounds:int -> completed:bool -> ledger:Ledger.t ->
-  timeline:(int * int * int) list -> t
+  ?outcome:outcome ->
+  ?fault_counts:Faults.Counts.t ->
+  rounds:int ->
+  completed:bool ->
+  ledger:Ledger.t ->
+  timeline:(int * int * int) list ->
+  unit ->
+  t
+(** [outcome] defaults to [Completed] when [completed], else to a
+    [Partial] with the ledger's learnings and no target (legacy
+    callers that predate degradation reporting). *)
 
 val messages : t -> int
 (** Shorthand for [Ledger.total t.ledger]. *)
@@ -26,6 +58,10 @@ val to_report :
     learnings, the [alpha]-competitive cost (default [alpha = 1]),
     per-node load statistics, and the timeline — as an {!Obs.Report.t}
     ready for JSON output.  [name] (default ["run"]) labels the run;
-    [extra] fields are appended to the JSON object verbatim. *)
+    [extra] fields are appended to the JSON object verbatim.  The
+    degradation outcome is always included (an ["outcome"] field, plus
+    ["achieved"]/["target"]/["coverage"] for partial runs and
+    ["abort_reason"] for aborted ones); when a fault plan was active a
+    ["faults"] object carries the per-class fault counts. *)
 
 val pp : Format.formatter -> t -> unit

@@ -19,14 +19,30 @@ type ('state, 'msg) adversary =
   Dynet.Graph.t
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
-    ?init_prev ?(obs = Obs.Sink.null) ~(states : s array)
-    ~(adversary : (s, m) adversary) ~max_rounds ~stop () =
+    ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
+    ?target_progress ~(states : s array) ~(adversary : (s, m) adversary)
+    ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
   let timeline = ref [] in
   (* Hoisted so the default Null sink costs one boolean test per
      emission site and never allocates an event. *)
   let tracing = not (Obs.Sink.is_null obs) in
+  (* Hoisted fault-layer activity test: with [Faults.Plan.none] the
+     round loop below is the pre-fault-layer code path. *)
+  let frun = Faults.Plan.start faults ~n in
+  let faulty = Faults.Plan.active frun in
+  let fcounts = Faults.Plan.counts frun in
+  let initial = if faulty then Array.copy states else [||] in
+  (* Delayed per-edge deliveries: due round -> (dst, src, msg). *)
+  let delayed : (int, (Dynet.Node_id.t * Dynet.Node_id.t * m) list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let emit_fault ~round ~kind ~node ?dst ?cls () =
+    if tracing then
+      Obs.Sink.emit obs (Obs.Trace.Fault { round; kind; node; dst; cls })
+  in
   let sum_progress () =
     Array.fold_left (fun acc st -> acc + P.progress st) 0 states
   in
@@ -37,73 +53,153 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       (Obs.Trace.Progress { round = 0; progress = p0; learnings = 0 });
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
   let completed = ref (stop states) in
+  let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && !round < max_rounds do
+  while (not !completed) && !aborted = None && !round < max_rounds do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
-    let intents =
-      Array.map
-        (fun _ -> (None : m option))
-        states
-    in
-    for v = 0 to n - 1 do
-      let st, m = P.intent states.(v) ~round:r in
-      states.(v) <- st;
-      intents.(v) <- m
-    done;
-    let g = adversary ~round:r ~prev:!prev ~states ~intents in
-    Engine_error.check_graph ~round:r ~n g;
-    let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
-    Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
-    if tracing then
-      Obs.Sink.emit obs
-        (Obs.Trace.Graph_change
-           {
-             round = r;
-             added = Ledger.tc ledger - tc0;
-             removed = Ledger.removals ledger - rm0;
-           });
-    Ledger.note_round ledger;
-    Array.iteri
-      (fun v intent ->
-        match intent with
-        | None -> ()
-        | Some m ->
-            let cls = P.classify m in
-            Ledger.record ledger cls 1;
-            Ledger.record_sender ledger v 1;
-            if tracing then
-              Obs.Sink.emit obs
-                (Obs.Trace.Send
-                   {
-                     round = r;
-                     src = v;
-                     dst = None;
-                     cls = Msg_class.to_string cls;
-                   }))
-      intents;
-    let inboxes =
-      Array.init n (fun v ->
-          Dynet.Graph.neighbors g v |> Array.to_list
-          |> List.filter_map (fun u ->
-                 match intents.(u) with
-                 | None -> None
-                 | Some m -> Some (u, m)))
-    in
-    for v = 0 to n - 1 do
-      states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
-    done;
-    let p = sum_progress () in
-    Ledger.note_progress ledger p;
-    if tracing then
-      Obs.Sink.emit obs
-        (Obs.Trace.Progress
-           { round = r; progress = p; learnings = Ledger.learnings ledger });
-    timeline :=
-      (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
-    prev := g;
-    completed := stop states
+    if faulty then begin
+      Faults.Plan.begin_round frun ~round:r
+        ~on_crash:(fun v -> emit_fault ~round:r ~kind:"crash" ~node:v ())
+        ~on_restart:(fun v ->
+          states.(v) <- initial.(v);
+          emit_fault ~round:r ~kind:"restart" ~node:v ());
+      if Faults.Plan.doomed frun then
+        aborted := Some "all nodes crashed with no possible restart"
+    end;
+    if !aborted = None then begin
+      let intents =
+        Array.map
+          (fun _ -> (None : m option))
+          states
+      in
+      for v = 0 to n - 1 do
+        (* A crashed node broadcasts nothing this round. *)
+        if (not faulty) || Faults.Plan.alive frun v then begin
+          let st, m = P.intent states.(v) ~round:r in
+          states.(v) <- st;
+          intents.(v) <- m
+        end
+      done;
+      let g = adversary ~round:r ~prev:!prev ~states ~intents in
+      Engine_error.check_graph ~round:r ~n g;
+      let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
+      Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+      if tracing then
+        Obs.Sink.emit obs
+          (Obs.Trace.Graph_change
+             {
+               round = r;
+               added = Ledger.tc ledger - tc0;
+               removed = Ledger.removals ledger - rm0;
+             });
+      Ledger.note_round ledger;
+      Array.iteri
+        (fun v intent ->
+          match intent with
+          | None -> ()
+          | Some m ->
+              let cls = P.classify m in
+              Ledger.record ledger cls 1;
+              Ledger.record_sender ledger v 1;
+              if tracing then
+                Obs.Sink.emit obs
+                  (Obs.Trace.Send
+                     {
+                       round = r;
+                       src = v;
+                       dst = None;
+                       cls = Msg_class.to_string cls;
+                     }))
+        intents;
+      let inboxes =
+        if not faulty then
+          Array.init n (fun v ->
+              Dynet.Graph.neighbors g v |> Array.to_list
+              |> List.filter_map (fun u ->
+                     match intents.(u) with
+                     | None -> None
+                     | Some m -> Some (u, m)))
+        else begin
+          (* A local broadcast is charged once but delivered per edge;
+             the per-edge deliveries fail (or duplicate, or lag)
+             independently. *)
+          let inboxes = Array.make n [] in
+          for v = 0 to n - 1 do
+            Array.iter
+              (fun u ->
+                match intents.(u) with
+                | None -> ()
+                | Some m -> (
+                    let cls_name = Msg_class.to_string (P.classify m) in
+                    match Faults.Plan.deliveries frun with
+                    | None ->
+                        emit_fault ~round:r ~kind:"drop" ~node:u ~dst:v
+                          ~cls:cls_name ()
+                    | Some delays ->
+                        if List.length delays > 1 then
+                          emit_fault ~round:r ~kind:"dup" ~node:u ~dst:v
+                            ~cls:cls_name ();
+                        List.iter
+                          (fun d ->
+                            if d = 0 then inboxes.(v) <- (u, m) :: inboxes.(v)
+                            else begin
+                              emit_fault ~round:r ~kind:"delay" ~node:u ~dst:v
+                                ~cls:cls_name ();
+                              let due = r + d in
+                              let cell =
+                                match Hashtbl.find_opt delayed due with
+                                | Some cell -> cell
+                                | None ->
+                                    let cell = ref [] in
+                                    Hashtbl.add delayed due cell;
+                                    cell
+                              in
+                              cell := (v, u, m) :: !cell
+                            end)
+                          delays))
+              (Dynet.Graph.neighbors g v)
+          done;
+          (match Hashtbl.find_opt delayed r with
+          | None -> ()
+          | Some cell ->
+              List.iter
+                (fun (dst, src, m) ->
+                  inboxes.(dst) <- (src, m) :: inboxes.(dst))
+                (List.rev !cell);
+              Hashtbl.remove delayed r);
+          for v = 0 to n - 1 do
+            if not (Faults.Plan.alive frun v) then begin
+              List.iter
+                (fun (src, m) ->
+                  fcounts.Faults.Counts.drops <-
+                    fcounts.Faults.Counts.drops + 1;
+                  emit_fault ~round:r ~kind:"drop" ~node:src ~dst:v
+                    ~cls:(Msg_class.to_string (P.classify m)) ())
+                (List.rev inboxes.(v));
+              inboxes.(v) <- []
+            end
+            else inboxes.(v) <- List.rev inboxes.(v)
+          done;
+          inboxes
+        end
+      in
+      for v = 0 to n - 1 do
+        if (not faulty) || Faults.Plan.alive frun v then
+          states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
+      done;
+      let p = sum_progress () in
+      Ledger.note_progress ledger p;
+      if tracing then
+        Obs.Sink.emit obs
+          (Obs.Trace.Progress
+             { round = r; progress = p; learnings = Ledger.learnings ledger });
+      timeline :=
+        (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
+      prev := g;
+      completed := stop states
+    end
   done;
   if tracing then begin
     Obs.Sink.emit obs
@@ -115,6 +211,17 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
          });
     Obs.Sink.flush obs
   end;
-  ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
-      ~timeline:(List.rev !timeline),
+  let outcome =
+    match !aborted with
+    | Some reason -> Run_result.Aborted reason
+    | None ->
+        if !completed then Run_result.Completed
+        else
+          Run_result.Partial
+            { achieved = sum_progress (); target = target_progress }
+  in
+  ( Run_result.make ~outcome
+      ?fault_counts:(if faulty then Some fcounts else None)
+      ~rounds:!round ~completed:!completed ~ledger
+      ~timeline:(List.rev !timeline) (),
     states )

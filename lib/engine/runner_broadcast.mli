@@ -44,6 +44,8 @@ val run :
   (module PROTOCOL with type state = 's and type msg = 'm) ->
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
+  ?faults:Faults.Plan.t ->
+  ?target_progress:int ->
   states:'s array ->
   adversary:('s, 'm) adversary ->
   max_rounds:int ->
@@ -61,4 +63,13 @@ val run :
     one [Send] per charged broadcast ([dst = None]), and [Progress];
     finally [Run_end] and a sink flush.  Summing [Send] events gives
     [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
+
+    [faults] (default {!Faults.Plan.none}, bit-identical to the
+    pre-fault-layer engine) injects faults as in
+    {!Runner_unicast.run}, with the broadcast-specific reading that a
+    local broadcast is still {e charged once} but its per-edge
+    deliveries drop / duplicate / lag independently — and a crashed
+    node broadcasts nothing and loses its inbox.  [target_progress]
+    enables [Partial] coverage reporting on capped runs; an execution
+    whose nodes are all permanently crashed returns [Aborted].
     @raise Engine_error.Adversary_violation on invalid round graphs. *)

@@ -40,14 +40,32 @@ let mem_sorted arr x =
   search 0 (Array.length arr)
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
-    ?init_prev ?(obs = Obs.Sink.null) ~(states : s array)
-    ~(adversary : s adversary) ~max_rounds ~stop () =
+    ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
+    ?target_progress ~(states : s array) ~(adversary : s adversary)
+    ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
   let timeline = ref [] in
   (* Hoisted so the default Null sink costs one boolean test per
      emission site and never allocates an event. *)
   let tracing = not (Obs.Sink.is_null obs) in
+  (* Same null-object pattern for the fault layer: with
+     [Faults.Plan.none] every fault hook below is behind one hoisted
+     boolean and the round loop is the pre-fault-layer code path. *)
+  let frun = Faults.Plan.start faults ~n in
+  let faulty = Faults.Plan.active frun in
+  let fcounts = Faults.Plan.counts frun in
+  (* Initial states, snapshotted for crash-restart state loss. *)
+  let initial = if faulty then Array.copy states else [||] in
+  (* Delayed deliveries: due round -> (dst, src, msg) in send order. *)
+  let delayed : (int, (Dynet.Node_id.t * Dynet.Node_id.t * m) list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let emit_fault ~round ~kind ~node ?dst ?cls () =
+    if tracing then
+      Obs.Sink.emit obs (Obs.Trace.Fault { round; kind; node; dst; cls })
+  in
   let sum_progress () =
     Array.fold_left (fun acc st -> acc + P.progress st) 0 states
   in
@@ -59,87 +77,155 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
   let traffic = ref ([] : traffic) in
   let completed = ref (stop states) in
+  let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && !round < max_rounds do
+  while (not !completed) && !aborted = None && !round < max_rounds do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
-    let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
-    Engine_error.check_graph ~round:r ~n g;
-    let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
-    Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
-    if tracing then
-      Obs.Sink.emit obs
-        (Obs.Trace.Graph_change
-           {
-             round = r;
-             added = Ledger.tc ledger - tc0;
-             removed = Ledger.removals ledger - rm0;
-           });
-    Ledger.note_round ledger;
-    let inboxes = Array.make n [] in
-    let round_traffic = ref [] in
-    let token_sent = Hashtbl.create 64 in
-    for v = 0 to n - 1 do
-      let neighbors = Dynet.Graph.neighbors g v in
-      let st, out = P.send states.(v) ~round:r ~neighbors in
-      states.(v) <- st;
-      List.iter
-        (fun (dst, m) ->
-          if not (mem_sorted neighbors dst) then
-            raise
-              (Engine_error.Protocol_violation
-                 (Printf.sprintf "round %d: node %d sent to non-neighbor %d" r
-                    v dst));
-          let cls = P.classify m in
-          (match cls with
-          | Msg_class.Token | Msg_class.Walk ->
-              if Hashtbl.mem token_sent (v, dst) then
+    if faulty then begin
+      Faults.Plan.begin_round frun ~round:r
+        ~on_crash:(fun v -> emit_fault ~round:r ~kind:"crash" ~node:v ())
+        ~on_restart:(fun v ->
+          states.(v) <- initial.(v);
+          emit_fault ~round:r ~kind:"restart" ~node:v ());
+      if Faults.Plan.doomed frun then
+        aborted := Some "all nodes crashed with no possible restart"
+    end;
+    if !aborted = None then begin
+      let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
+      Engine_error.check_graph ~round:r ~n g;
+      let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
+      Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
+      if tracing then
+        Obs.Sink.emit obs
+          (Obs.Trace.Graph_change
+             {
+               round = r;
+               added = Ledger.tc ledger - tc0;
+               removed = Ledger.removals ledger - rm0;
+             });
+      Ledger.note_round ledger;
+      let inboxes = Array.make n [] in
+      let round_traffic = ref [] in
+      let token_sent = Hashtbl.create 64 in
+      for v = 0 to n - 1 do
+        if (not faulty) || Faults.Plan.alive frun v then begin
+          let neighbors = Dynet.Graph.neighbors g v in
+          let st, out = P.send states.(v) ~round:r ~neighbors in
+          states.(v) <- st;
+          List.iter
+            (fun (dst, m) ->
+              if not (mem_sorted neighbors dst) then
                 raise
                   (Engine_error.Protocol_violation
-                     (Printf.sprintf
-                        "round %d: node %d sent two tokens to %d in one round"
+                     (Printf.sprintf "round %d: node %d sent to non-neighbor %d"
                         r v dst));
-              Hashtbl.replace token_sent (v, dst) ()
-          | Msg_class.Completeness | Msg_class.Request | Msg_class.Center
-          | Msg_class.Control ->
-              ());
-          Ledger.record ledger cls 1;
-          Ledger.record_sender ledger v 1;
-          if tracing then
-            Obs.Sink.emit obs
-              (Obs.Trace.Send
-                 {
-                   round = r;
-                   src = v;
-                   dst = Some dst;
-                   cls = Msg_class.to_string cls;
-                 });
-          round_traffic := (v, dst, cls) :: !round_traffic;
-          (* Collect in reverse, fix sender order below. *)
-          inboxes.(dst) <- (v, m) :: inboxes.(dst))
-        out
-    done;
-    for v = 0 to n - 1 do
-      let inbox =
-        List.stable_sort (fun (a, _) (b, _) -> Dynet.Node_id.compare a b)
-          (List.rev inboxes.(v))
-      in
-      states.(v) <-
-        P.receive states.(v) ~round:r ~neighbors:(Dynet.Graph.neighbors g v)
-          ~inbox
-    done;
-    let p = sum_progress () in
-    Ledger.note_progress ledger p;
-    if tracing then
-      Obs.Sink.emit obs
-        (Obs.Trace.Progress
-           { round = r; progress = p; learnings = Ledger.learnings ledger });
-    timeline :=
-      (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
-    prev := g;
-    traffic := List.rev !round_traffic;
-    completed := stop states
+              let cls = P.classify m in
+              (match cls with
+              | Msg_class.Token | Msg_class.Walk ->
+                  if Hashtbl.mem token_sent (v, dst) then
+                    raise
+                      (Engine_error.Protocol_violation
+                         (Printf.sprintf
+                            "round %d: node %d sent two tokens to %d in one round"
+                            r v dst));
+                  Hashtbl.replace token_sent (v, dst) ()
+              | Msg_class.Completeness | Msg_class.Request | Msg_class.Center
+              | Msg_class.Control ->
+                  ());
+              Ledger.record ledger cls 1;
+              Ledger.record_sender ledger v 1;
+              if tracing then
+                Obs.Sink.emit obs
+                  (Obs.Trace.Send
+                     {
+                       round = r;
+                       src = v;
+                       dst = Some dst;
+                       cls = Msg_class.to_string cls;
+                     });
+              round_traffic := (v, dst, cls) :: !round_traffic;
+              (* Collect in reverse, fix sender order below. *)
+              if not faulty then inboxes.(dst) <- (v, m) :: inboxes.(dst)
+              else
+                let cls_name = Msg_class.to_string cls in
+                match Faults.Plan.deliveries frun with
+                | None ->
+                    emit_fault ~round:r ~kind:"drop" ~node:v ~dst
+                      ~cls:cls_name ()
+                | Some delays ->
+                    if List.length delays > 1 then
+                      emit_fault ~round:r ~kind:"dup" ~node:v ~dst
+                        ~cls:cls_name ();
+                    List.iter
+                      (fun d ->
+                        if d = 0 then inboxes.(dst) <- (v, m) :: inboxes.(dst)
+                        else begin
+                          emit_fault ~round:r ~kind:"delay" ~node:v ~dst
+                            ~cls:cls_name ();
+                          let due = r + d in
+                          let cell =
+                            match Hashtbl.find_opt delayed due with
+                            | Some cell -> cell
+                            | None ->
+                                let cell = ref [] in
+                                Hashtbl.add delayed due cell;
+                                cell
+                          in
+                          cell := (dst, v, m) :: !cell
+                        end)
+                      delays)
+            out
+        end
+      done;
+      if faulty then begin
+        (* Messages whose bounded delay expires this round arrive now,
+           after the on-time traffic (the sort below interleaves them
+           into sender order). *)
+        (match Hashtbl.find_opt delayed r with
+        | None -> ()
+        | Some cell ->
+            List.iter
+              (fun (dst, src, m) -> inboxes.(dst) <- (src, m) :: inboxes.(dst))
+              (List.rev !cell);
+            Hashtbl.remove delayed r);
+        (* A node crashed at delivery time loses its whole inbox. *)
+        for v = 0 to n - 1 do
+          if not (Faults.Plan.alive frun v) then begin
+            List.iter
+              (fun (src, m) ->
+                fcounts.Faults.Counts.drops <-
+                  fcounts.Faults.Counts.drops + 1;
+                emit_fault ~round:r ~kind:"drop" ~node:src ~dst:v
+                  ~cls:(Msg_class.to_string (P.classify m)) ())
+              (List.rev inboxes.(v));
+            inboxes.(v) <- []
+          end
+        done
+      end;
+      for v = 0 to n - 1 do
+        if (not faulty) || Faults.Plan.alive frun v then
+          let inbox =
+            List.stable_sort (fun (a, _) (b, _) -> Dynet.Node_id.compare a b)
+              (List.rev inboxes.(v))
+          in
+          states.(v) <-
+            P.receive states.(v) ~round:r ~neighbors:(Dynet.Graph.neighbors g v)
+              ~inbox
+      done;
+      let p = sum_progress () in
+      Ledger.note_progress ledger p;
+      if tracing then
+        Obs.Sink.emit obs
+          (Obs.Trace.Progress
+             { round = r; progress = p; learnings = Ledger.learnings ledger });
+      timeline :=
+        (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
+      prev := g;
+      traffic := List.rev !round_traffic;
+      completed := stop states
+    end
   done;
   if tracing then begin
     Obs.Sink.emit obs
@@ -151,6 +237,17 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
          });
     Obs.Sink.flush obs
   end;
-  ( Run_result.make ~rounds:!round ~completed:!completed ~ledger
-      ~timeline:(List.rev !timeline),
+  let outcome =
+    match !aborted with
+    | Some reason -> Run_result.Aborted reason
+    | None ->
+        if !completed then Run_result.Completed
+        else
+          Run_result.Partial
+            { achieved = sum_progress (); target = target_progress }
+  in
+  ( Run_result.make ~outcome
+      ?fault_counts:(if faulty then Some fcounts else None)
+      ~rounds:!round ~completed:!completed ~ledger
+      ~timeline:(List.rev !timeline) (),
     states )

@@ -56,6 +56,8 @@ val run :
   (module PROTOCOL with type state = 's and type msg = 'm) ->
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
+  ?faults:Faults.Plan.t ->
+  ?target_progress:int ->
   states:'s array ->
   adversary:'s adversary ->
   max_rounds:int ->
@@ -73,6 +75,25 @@ val run :
     one [Send] per unicast message (with its [dst]), and [Progress];
     finally [Run_end] and a sink flush.  Summing [Send] events gives
     [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
+
+    [faults] (default {!Faults.Plan.none}: the clean model, with the
+    round loop bit-identical to a build without the fault layer)
+    injects message loss / duplication / bounded delay and node
+    crash-restart.  Faulty rounds run as: node fates advance (a
+    restarting node re-enters with its {e initial} state); crashed
+    nodes are skipped in the send phase; each sent message is charged
+    to the ledger, then dropped, duplicated, or delayed by the plan;
+    messages due this round (on-time or expired delays) are delivered
+    except to nodes crashed at delivery time, whose inboxes are
+    discarded.  Every fault is emitted as an {!Obs.Trace.Fault} event
+    and tallied in the result's [fault_counts].  A delayed message is
+    delivered even if its edge has since vanished (delay models
+    asynchrony, not routing).
+
+    [target_progress] (e.g. [n*k] for full dissemination) is the
+    progress a successful run would reach; a capped run then reports
+    [Partial] coverage against it.  If every node is crashed and the
+    plan can never restart one, the run stops with [Aborted].
     @raise Engine_error.Adversary_violation on invalid round graphs.
     @raise Engine_error.Protocol_violation on sends to non-neighbors or
     token-bandwidth violations. *)

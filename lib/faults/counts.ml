@@ -1,0 +1,30 @@
+type t = {
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable retransmits : int;
+}
+
+let create () =
+  { drops = 0; dups = 0; delays = 0; crashes = 0; restarts = 0;
+    retransmits = 0 }
+
+let is_zero t =
+  t.drops = 0 && t.dups = 0 && t.delays = 0 && t.crashes = 0
+  && t.restarts = 0 && t.retransmits = 0
+
+let to_fields t =
+  [
+    ("drops", t.drops); ("dups", t.dups); ("delays", t.delays);
+    ("crashes", t.crashes); ("restarts", t.restarts);
+    ("retransmits", t.retransmits);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v))
+    (to_fields t)

@@ -1,0 +1,28 @@
+(** Per-class fault tallies for one execution.
+
+    A mutable record so the engines and the reliable-delivery wrapper
+    can bump counters on the hot path without threading state; the
+    fields mirror the fault classes of {!Plan} plus the
+    [retransmits] the {!Gossip.Reliable} wrapper performs to mask
+    them.  All-zero counts mean the run saw no fault activity. *)
+
+type t = {
+  mutable drops : int;
+      (** Messages lost in transit, including whole inboxes discarded
+          when their owner was crashed at delivery time. *)
+  mutable dups : int;  (** Messages duplicated on the wire. *)
+  mutable delays : int;  (** Message copies delivered late. *)
+  mutable crashes : int;  (** Node crash events. *)
+  mutable restarts : int;  (** Node restart (state-loss) events. *)
+  mutable retransmits : int;
+      (** Retransmissions performed by a reliability wrapper (zero
+          unless one was in use). *)
+}
+
+val create : unit -> t
+val is_zero : t -> bool
+
+val to_fields : t -> (string * int) list
+(** [("drops", d); ...] in declaration order, for JSON assembly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+type spec = {
+  loss : float;
+  dup : float;
+  crash : float;
+  restart : float;
+  max_delay : int;
+  seed : int;
+}
+
+type t =
+  | None_
+  | Random of spec
+  | Script of { crashes : (int * int) list; restarts : (int * int) list }
+
+let none = None_
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault plan: %s = %g outside [0, 1]" name p)
+
+let make ?(loss = 0.) ?(dup = 0.) ?(crash = 0.) ?(restart = 0.25)
+    ?(max_delay = 0) ~seed () =
+  check_prob "loss" loss;
+  check_prob "dup" dup;
+  check_prob "crash" crash;
+  check_prob "restart" restart;
+  if max_delay < 0 then
+    invalid_arg (Printf.sprintf "Fault plan: max_delay = %d < 0" max_delay);
+  if loss = 0. && dup = 0. && crash = 0. && max_delay = 0 then None_
+  else Random { loss; dup; crash; restart; max_delay; seed }
+
+let scripted ?(crashes = []) ?(restarts = []) () =
+  Script { crashes; restarts }
+
+let is_none = function None_ -> true | Random _ | Script _ -> false
+
+type run = {
+  plan : t;
+  node_rng : Dynet.Rng.t;
+  msg_rng : Dynet.Rng.t;
+  alive : bool array;
+  counts : Counts.t;
+  mutable cur_round : int;
+}
+
+let start plan ~n =
+  (match plan with
+  | None_ -> ()
+  | Random _ | Script _ ->
+      if n <= 0 then invalid_arg "Fault plan: n <= 0");
+  let seed = match plan with Random s -> s.seed | None_ | Script _ -> 0 in
+  let master = Dynet.Rng.make ~seed in
+  {
+    plan;
+    node_rng = Dynet.Rng.split master;
+    msg_rng = Dynet.Rng.split master;
+    alive = (match plan with None_ -> [||] | _ -> Array.make n true);
+    counts = Counts.create ();
+    cur_round = 0;
+  }
+
+let active run = not (is_none run.plan)
+let counts run = run.counts
+
+let begin_round run ~round ~on_crash ~on_restart =
+  run.cur_round <- round;
+  match run.plan with
+  | None_ -> ()
+  | Random { crash; restart; _ } ->
+      Array.iteri
+        (fun v up ->
+          if up then begin
+            if Dynet.Rng.bernoulli run.node_rng crash then begin
+              run.alive.(v) <- false;
+              run.counts.Counts.crashes <- run.counts.Counts.crashes + 1;
+              on_crash v
+            end
+          end
+          else if Dynet.Rng.bernoulli run.node_rng restart then begin
+            run.alive.(v) <- true;
+            run.counts.Counts.restarts <- run.counts.Counts.restarts + 1;
+            on_restart v
+          end)
+        run.alive
+  | Script { crashes; restarts } ->
+      List.iter
+        (fun (r, v) ->
+          if r = round && v >= 0 && v < Array.length run.alive
+             && run.alive.(v)
+          then begin
+            run.alive.(v) <- false;
+            run.counts.Counts.crashes <- run.counts.Counts.crashes + 1;
+            on_crash v
+          end)
+        crashes;
+      List.iter
+        (fun (r, v) ->
+          if r = round && v >= 0 && v < Array.length run.alive
+             && not run.alive.(v)
+          then begin
+            run.alive.(v) <- true;
+            run.counts.Counts.restarts <- run.counts.Counts.restarts + 1;
+            on_restart v
+          end)
+        restarts
+
+let alive run v =
+  match run.plan with None_ -> true | Random _ | Script _ -> run.alive.(v)
+
+let doomed run =
+  match run.plan with
+  | None_ -> false
+  | Random { restart; _ } ->
+      restart <= 0. && Array.for_all not run.alive
+  | Script { restarts; _ } ->
+      Array.for_all not run.alive
+      && List.for_all (fun (r, _) -> r <= run.cur_round) restarts
+
+let deliveries run =
+  match run.plan with
+  | None_ | Script _ -> Some [ 0 ]
+  | Random { loss; dup; max_delay; _ } ->
+      if Dynet.Rng.bernoulli run.msg_rng loss then begin
+        run.counts.Counts.drops <- run.counts.Counts.drops + 1;
+        None
+      end
+      else begin
+        let copies =
+          if Dynet.Rng.bernoulli run.msg_rng dup then begin
+            run.counts.Counts.dups <- run.counts.Counts.dups + 1;
+            2
+          end
+          else 1
+        in
+        let delay () =
+          if max_delay = 0 then 0
+          else begin
+            let d = Dynet.Rng.int run.msg_rng (max_delay + 1) in
+            if d > 0 then
+              run.counts.Counts.delays <- run.counts.Counts.delays + 1;
+            d
+          end
+        in
+        Some (List.init copies (fun _ -> delay ()))
+      end

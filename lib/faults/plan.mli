@@ -1,0 +1,101 @@
+(** Composable, deterministic fault plans.
+
+    A plan sits between a protocol and an engine and decides, from an
+    explicit {!Dynet.Rng} seed, which faults to inject into an
+    execution:
+
+    - {e message loss} — each transmitted message is dropped in
+      transit with probability [loss], independently per message (and
+      therefore per directed edge for unicast sends);
+    - {e message duplication} — a surviving message is delivered twice
+      with probability [dup];
+    - {e node crash / restart} — each live node crashes at the start
+      of a round with probability [crash]; a crashed node sends
+      nothing and its inbox is discarded, and it re-enters with
+      probability [restart] per round, {e restarting from its initial
+      state} (full state loss);
+    - {e bounded delivery delay} — each surviving message copy is
+      delayed by a uniform number of rounds in [0 .. max_delay]
+      (0 = on time).
+
+    {!none} is the identity plan: engines test {!active} once per run
+    and take their pre-existing code paths, so the clean model stays
+    bit-for-bit identical to a build without the fault layer (the same
+    null-object pattern as [Obs.Sink.null]).
+
+    Two independent random streams are derived from the seed — one for
+    node fates, one for message verdicts — so the crash/restart
+    trajectory of a plan depends only on the round count, not on how
+    many messages the protocol happened to send. *)
+
+type t
+
+val none : t
+(** Inject nothing; compiles to the identity in the engines. *)
+
+val make :
+  ?loss:float ->
+  ?dup:float ->
+  ?crash:float ->
+  ?restart:float ->
+  ?max_delay:int ->
+  seed:int ->
+  unit ->
+  t
+(** A randomized plan ([loss], [dup], [crash], [restart] default 0,
+    except [restart] which defaults to [0.25] so crash faults are
+    transient unless asked otherwise; [max_delay] defaults 0).  If no
+    fault can ever fire ([loss = dup = crash = 0] and [max_delay = 0])
+    the result {e is} {!none}.
+    @raise Invalid_argument if a probability is outside [0, 1] or
+    [max_delay < 0]. *)
+
+val scripted :
+  ?crashes:(int * int) list -> ?restarts:(int * int) list -> unit -> t
+(** A deterministic plan that crashes / restarts exactly the given
+    [(round, node)] pairs and injects no message faults — test
+    instrumentation for crash-round semantics. *)
+
+val is_none : t -> bool
+
+(** {2 Per-execution state}
+
+    A [run] instantiates a plan for one execution: it owns the random
+    streams, the liveness array, and the fault tallies.  Engines call
+    {!begin_round} once per round and {!deliveries} once per
+    transmitted message, in deterministic (node-, then send-) order —
+    which is what makes fault runs exactly reproducible from the
+    seed. *)
+
+type run
+
+val start : t -> n:int -> run
+(** @raise Invalid_argument if [n <= 0] for an active plan. *)
+
+val active : run -> bool
+(** False only for {!none}: engines hoist this test and skip all fault
+    bookkeeping when it is false. *)
+
+val counts : run -> Counts.t
+(** The tallies, shared and live (updated as the run progresses). *)
+
+val begin_round :
+  run -> round:int -> on_crash:(int -> unit) -> on_restart:(int -> unit) ->
+  unit
+(** Advance node fates to [round]: each live node may crash, each
+    crashed node may restart, in node order.  The callbacks fire once
+    per transition (engines use them to reset state and emit trace
+    events); {!Counts.crashes}/[restarts] are bumped here. *)
+
+val alive : run -> int -> bool
+(** Whether the node participates in the current round. *)
+
+val doomed : run -> bool
+(** Every node is crashed and the plan can never restart one — the
+    execution cannot make progress and should abort. *)
+
+val deliveries : run -> int list option
+(** The fate of one transmitted message: [None] if dropped, otherwise
+    one per-copy delivery delay (in rounds, [0] = this round; a
+    duplicated message yields two entries).  Bumps the run's
+    {!Counts}. *)

@@ -10,37 +10,123 @@ let unicast_adversary ~n = function
   | Request_cutting { seed; cut_prob } ->
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
-let single_source ~instance ~env ?max_rounds ?config ?obs () =
+let single_source ~instance ~env ?max_rounds ?config ?faults ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Single_source.init ?config ~instance () in
-  Engine.Runner_unicast.run Single_source.protocol ?obs ~states
+  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults
+    ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Single_source.all_complete ~k)
     ()
 
-let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?obs () =
+let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?faults ?obs ()
+    =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
-  Engine.Runner_unicast.run Multi_source.protocol ?obs ~states
+  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults
+    ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Multi_source.all_complete ~k)
     ()
 
-let flooding ~instance ~schedule ?phase_len ?max_rounds ?obs () =
+(* {2 Reliable (ack + retransmit) variants} *)
+
+module Reliable_single = Reliable.Make ((val Single_source.protocol))
+module Reliable_multi = Reliable.Make ((val Multi_source.protocol))
+
+(* Wire the wrapper's retransmit hook into the trace stream and tally
+   wrapper activity into the run's fault counts, so degraded runs
+   report their self-healing work alongside the faults it masked. *)
+let reliable_obs_hook obs =
+  match obs with
+  | None -> None
+  | Some sink when Obs.Sink.is_null sink -> None
+  | Some sink ->
+      Some
+        (fun ~round ~src ~dst ->
+          Obs.Sink.emit sink
+            (Obs.Trace.Fault
+               { round; kind = "retransmit"; node = src; dst = Some dst;
+                 cls = None }))
+
+let note_retransmits (result : Engine.Run_result.t) ~retransmits =
+  (match result.Engine.Run_result.fault_counts with
+  | Some c -> c.Faults.Counts.retransmits <- retransmits
+  | None -> ());
+  result
+
+let reliable_single_source ~instance ~env ?max_rounds ?config ?rto ?backoff
+    ?faults ?obs () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(2 * default_unicast_cap ~n ~k)
+  in
+  let states =
+    Reliable_single.wrap ?rto ?backoff
+      ?on_retransmit:(reliable_obs_hook obs)
+      (Single_source.init ?config ~instance ())
+  in
+  let result, states =
+    Engine.Runner_unicast.run Reliable_single.protocol ?obs ?faults
+      ~target_progress:(n * k) ~states
+      ~adversary:(unicast_adversary ~n env)
+      ~max_rounds
+      ~stop:(fun sts ->
+        Single_source.all_complete ~k (Array.map Reliable_single.inner sts))
+      ()
+  in
+  let retransmits =
+    Array.fold_left (fun acc st -> acc + Reliable_single.retransmits st) 0
+      states
+  in
+  ( note_retransmits result ~retransmits,
+    Array.map Reliable_single.inner states,
+    retransmits )
+
+let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
+    ?backoff ?faults ?obs () =
+  let n = Instance.n instance and k = Instance.k instance in
+  let max_rounds =
+    Option.value max_rounds ~default:(2 * default_unicast_cap ~n ~k)
+  in
+  let states =
+    Reliable_multi.wrap ?rto ?backoff
+      ?on_retransmit:(reliable_obs_hook obs)
+      (Multi_source.init ?source_order ?seed ~instance ())
+  in
+  let result, states =
+    Engine.Runner_unicast.run Reliable_multi.protocol ?obs ?faults
+      ~target_progress:(n * k) ~states
+      ~adversary:(unicast_adversary ~n env)
+      ~max_rounds
+      ~stop:(fun sts ->
+        Multi_source.all_complete ~k (Array.map Reliable_multi.inner sts))
+      ()
+  in
+  let retransmits =
+    Array.fold_left (fun acc st -> acc + Reliable_multi.retransmits st) 0
+      states
+  in
+  ( note_retransmits result ~retransmits,
+    Array.map Reliable_multi.inner states,
+    retransmits )
+
+let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Flooding.init ~instance ?phase_len () in
-  Engine.Runner_broadcast.run Flooding.protocol ?obs ~states
+  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults
+    ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds
     ~stop:(Flooding.all_complete ~k)
@@ -94,34 +180,37 @@ let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds ?obs () =
   in
   (result, states, lb)
 
-let random_push ~instance ~env ~seed ?max_rounds ?obs () =
+let random_push ~instance ~env ~seed ?max_rounds ?faults ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(4 * default_unicast_cap ~n ~k)
   in
   let states = Random_push.init ~instance ~seed in
-  Engine.Runner_unicast.run Random_push.protocol ?obs ~states
+  Engine.Runner_unicast.run Random_push.protocol ?obs ?faults
+    ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Random_push.all_complete ~k)
     ()
 
-let leader_election ~n ~env ?max_rounds ?obs () =
+let leader_election ~n ~env ?max_rounds ?faults ?obs () =
   let max_rounds = Option.value max_rounds ~default:((8 * n * n) + 64) in
   let states = Leader_election.init ~n in
-  Engine.Runner_unicast.run Leader_election.protocol ?obs ~states
+  Engine.Runner_unicast.run Leader_election.protocol ?obs ?faults
+    ~target_progress:n ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Leader_election.elected ~n)
     ()
 
-let coded_broadcast ~instance ~schedule ~seed ?max_rounds ?obs () =
+let coded_broadcast ~instance ~schedule ~seed ?max_rounds ?faults ?obs () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Coded_bcast.init ~instance ~seed in
-  Engine.Runner_broadcast.run Coded_bcast.protocol ?obs ~states
+  Engine.Runner_broadcast.run Coded_bcast.protocol ?obs ?faults
+    ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds
     ~stop:(Coded_bcast.all_decoded ~k)

@@ -9,7 +9,18 @@
     Every runner forwards an optional [?obs] event sink to the engine
     (default {!Obs.Sink.null}, costing nothing); pass
     {!Obs.Sink.Memory} or {!Obs.Sink.Jsonl} to capture the per-round
-    {!Obs.Trace} stream. *)
+    {!Obs.Trace} stream.
+
+    Runners on the schedule-driven engines likewise forward an
+    optional [?faults] plan (default {!Faults.Plan.none}, costing
+    nothing): pass a {!Faults.Plan.make} to inject message loss /
+    duplication / delay and node crash-restart.  Each such runner
+    declares its full-dissemination progress target to the engine, so
+    capped runs come back as [Partial] with a coverage fraction
+    instead of a bare failure bit.  The lower-bound runners
+    ({!flooding_vs_lower_bound}, {!greedy_vs_lower_bound}) model a
+    worst-case {e adversary}, not a faulty {e environment}, and take
+    no fault plan. *)
 
 type unicast_env =
   | Oblivious of Adversary.Schedule.t
@@ -29,6 +40,7 @@ val single_source :
   env:unicast_env ->
   ?max_rounds:int ->
   ?config:Single_source.config ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Single_source.state array
@@ -42,17 +54,52 @@ val multi_source :
   ?max_rounds:int ->
   ?source_order:Multi_source.source_order ->
   ?seed:int ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Multi_source.state array
 (** [source_order] defaults to the paper's min-source rule; the random
     alternative exists for the ablation bench. *)
 
+val reliable_single_source :
+  instance:Instance.t ->
+  env:unicast_env ->
+  ?max_rounds:int ->
+  ?config:Single_source.config ->
+  ?rto:int ->
+  ?backoff:float ->
+  ?faults:Faults.Plan.t ->
+  ?obs:Obs.Sink.t ->
+  unit ->
+  Engine.Run_result.t * Single_source.state array * int
+(** Algorithm 1 wrapped in {!Reliable.Make}: completes under message
+    loss / duplication / delay that the bare protocol does not
+    survive.  Returns the {e inner} protocol states and the total
+    retransmission count (also folded into the result's fault counts
+    when a plan was active).  The default round cap is doubled — the
+    wrapper trades rounds and messages for delivery guarantees. *)
+
+val reliable_multi_source :
+  instance:Instance.t ->
+  env:unicast_env ->
+  ?max_rounds:int ->
+  ?source_order:Multi_source.source_order ->
+  ?seed:int ->
+  ?rto:int ->
+  ?backoff:float ->
+  ?faults:Faults.Plan.t ->
+  ?obs:Obs.Sink.t ->
+  unit ->
+  Engine.Run_result.t * Multi_source.state array * int
+(** Multi-Source-Unicast wrapped in {!Reliable.Make}; see
+    {!reliable_single_source}. *)
+
 val flooding :
   instance:Instance.t ->
   schedule:Adversary.Schedule.t ->
   ?phase_len:int ->
   ?max_rounds:int ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Flooding.state array
@@ -86,6 +133,7 @@ val random_push :
   env:unicast_env ->
   seed:int ->
   ?max_rounds:int ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Random_push.state array
@@ -96,6 +144,7 @@ val leader_election :
   n:int ->
   env:unicast_env ->
   ?max_rounds:int ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Leader_election.state array
@@ -108,6 +157,7 @@ val coded_broadcast :
   schedule:Adversary.Schedule.t ->
   seed:int ->
   ?max_rounds:int ->
+  ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   unit ->
   Engine.Run_result.t * Coded_bcast.state array

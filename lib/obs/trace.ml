@@ -4,6 +4,13 @@ type event =
   | Graph_change of { round : int; added : int; removed : int }
   | Progress of { round : int; progress : int; learnings : int }
   | Phase of { name : string; round : int }
+  | Fault of {
+      round : int;
+      kind : string;
+      node : int;
+      dst : int option;
+      cls : string option;
+    }
   | Run_end of { rounds : int; completed : bool; messages : int }
 
 let to_json = function
@@ -30,6 +37,17 @@ let to_json = function
       Json.Obj
         [ ("ev", Json.String "phase"); ("name", Json.String name);
           ("round", Json.Int round) ]
+  | Fault { round; kind; node; dst; cls } ->
+      let dst_field =
+        match dst with None -> [] | Some d -> [ ("dst", Json.Int d) ]
+      in
+      let cls_field =
+        match cls with None -> [] | Some c -> [ ("cls", Json.String c) ]
+      in
+      Json.Obj
+        ([ ("ev", Json.String "fault"); ("round", Json.Int round);
+           ("kind", Json.String kind); ("node", Json.Int node) ]
+        @ dst_field @ cls_field)
   | Run_end { rounds; completed; messages } ->
       Json.Obj
         [ ("ev", Json.String "run_end"); ("rounds", Json.Int rounds);

@@ -21,6 +21,13 @@
     boundary (e.g. Algorithm 2's random-walk → multi-source hand-off);
     [Run_end] closes the run with its headline totals.
 
+    [Fault] records one fault-layer action (emitted only when a fault
+    plan is active): [kind] is ["drop"], ["dup"], ["delay"], ["crash"],
+    ["restart"], or ["retransmit"].  For message faults [node] is the
+    sender, [dst] the receiver, and [cls] the message class; for node
+    faults [node] is the affected node and [dst]/[cls] are absent.
+    Summing [drop]-kind events gives the fault ledger's drop count.
+
     Node ids are plain ints (they are [Dynet.Node_id.t] densely
     numbered [0..n-1]); message classes are their
     [Engine.Msg_class.to_string] names.  Both are kept as primitives so
@@ -32,6 +39,13 @@ type event =
   | Graph_change of { round : int; added : int; removed : int }
   | Progress of { round : int; progress : int; learnings : int }
   | Phase of { name : string; round : int }
+  | Fault of {
+      round : int;
+      kind : string;
+      node : int;
+      dst : int option;
+      cls : string option;
+    }
   | Run_end of { rounds : int; completed : bool; messages : int }
 
 val to_json : event -> Json.t

@@ -13,4 +13,5 @@ let () =
       ("leader-election", Test_leader.suite);
       ("weak-adversary", Test_weak.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
     ]
