@@ -21,10 +21,11 @@ let seed = 42
 
 (* {2 Part 1: the paper's tables and figures} *)
 
-let run_tables ~metrics () =
+let run_tables ~jobs ~metrics () =
   print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
   print_newline ();
-  List.iter Analysis.Table.print (Analysis.Experiments.all ~metrics ~seed ())
+  List.iter Analysis.Table.print
+    (Analysis.Experiments.all ~jobs ~metrics ~seed ())
 
 (* {2 Part 2: Bechamel micro-benchmarks, one per experiment} *)
 
@@ -332,14 +333,18 @@ let write_results ~out ~bench_rows ~metrics =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--tables-only | --bechamel-only] [--out FILE]";
+    "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] [--out FILE]";
   prerr_endline "  --tables-only    only the paper tables (Part 1)";
   prerr_endline "  --bechamel-only  only the micro-benchmarks (Part 2)";
+  prerr_endline
+    "  --jobs N         domains for the experiment sweeps (default: \
+     recommended domain count); tables are bit-identical for every N";
   prerr_endline "  --out FILE       JSON summary path (default BENCH_results.json)"
 
 let () =
   let tables_only = ref false
   and bechamel_only = ref false
+  and jobs = ref (Analysis.Sweep.recommended_jobs ())
   and out = ref "BENCH_results.json" in
   let rec parse = function
     | [] -> ()
@@ -349,6 +354,19 @@ let () =
     | "--bechamel-only" :: rest ->
         bechamel_only := true;
         parse rest
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "error: --jobs needs a positive integer, got %S\n" v;
+            usage ();
+            exit 2)
+    | [ "--jobs" ] ->
+        prerr_endline "error: --jobs needs a count argument";
+        usage ();
+        exit 2
     | "--out" :: file :: rest ->
         out := file;
         parse rest
@@ -368,6 +386,8 @@ let () =
     exit 2
   end;
   let metrics = if !bechamel_only then None else Some (Obs.Metrics.create ()) in
-  (match metrics with Some m -> run_tables ~metrics:m () | None -> ());
+  (match metrics with
+  | Some m -> run_tables ~jobs:!jobs ~metrics:m ()
+  | None -> ());
   let bench_rows = if !tables_only then [] else run_bechamel () in
   write_results ~out:!out ~bench_rows ~metrics

@@ -38,6 +38,16 @@ let csv_arg =
     value & flag
     & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Analysis.Sweep.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Domains to fan experiment sweep points over (E1/E4/E7); \
+           results are bit-identical for every value. Default: the \
+           machine's recommended domain count.")
+
 let trace_arg =
   Arg.(
     value
@@ -494,7 +504,7 @@ let experiments_cmd =
           ~doc:
             "Experiment ids (e0 e1 ... e16); default: all.")
   in
-  let run ids csv seed timings =
+  let run ids csv seed jobs timings =
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
     let selected = if ids = [] then List.map snd experiment_names else ids in
     List.iter
@@ -502,12 +512,12 @@ let experiments_cmd =
         let table =
           match id with
           | `E0 -> Analysis.Experiments.environments ?metrics ~seed ()
-          | `E1 -> Analysis.Experiments.table1 ?metrics ~seed ()
+          | `E1 -> Analysis.Experiments.table1 ~jobs ?metrics ~seed ()
           | `E2 -> Analysis.Experiments.lower_bound ?metrics ~seed ()
           | `E3 -> Analysis.Experiments.free_edges ?metrics ~seed ()
-          | `E4 -> Analysis.Experiments.single_source ?metrics ~seed ()
+          | `E4 -> Analysis.Experiments.single_source ~jobs ?metrics ~seed ()
           | `E6 -> Analysis.Experiments.multi_source ?metrics ~seed ()
-          | `E7 -> Analysis.Experiments.rw_scaling ?metrics ~seed ()
+          | `E7 -> Analysis.Experiments.rw_scaling ~jobs ?metrics ~seed ()
           | `E8 -> Analysis.Experiments.static_baseline ?metrics ~seed ()
           | `E9 -> Analysis.Experiments.time_vs_messages ?metrics ~seed ()
           | `E10 -> Analysis.Experiments.ablation ?metrics ~seed ()
@@ -535,7 +545,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run $ which $ csv_arg $ seed_arg $ timings_arg)
+    Term.(const run $ which $ csv_arg $ seed_arg $ jobs_arg $ timings_arg)
 
 (* {2 focused shortcuts} *)
 
@@ -547,10 +557,12 @@ let table1_cmd =
       & opt (list int) [ 24; 32 ]
       & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
   in
-  let run ns csv seed =
-    print_table ~csv (Analysis.Experiments.table1 ~ns ~seed ())
+  let run ns csv seed jobs =
+    print_table ~csv (Analysis.Experiments.table1 ~ns ~jobs ~seed ())
   in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ ns $ csv_arg $ seed_arg)
+  Cmd.v
+    (Cmd.info "table1" ~doc)
+    Term.(const run $ ns $ csv_arg $ seed_arg $ jobs_arg)
 
 let lowerbound_cmd =
   let doc = "E2+E3: the Section-2 local-broadcast lower bound." in

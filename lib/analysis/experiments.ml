@@ -14,52 +14,67 @@ let timed ?metrics id body = Obs.Timer.observe_span ?metrics ~name:id body
 
 (* {2 E1 — Table 1} *)
 
-let table1 ?(ns = [ 24; 32 ]) ?metrics ~seed () =
+let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ~seed () =
   timed ?metrics "experiment/e1-table1" @@ fun () ->
-  let rows = ref [] in
+  (* Each (n, regime) cell of Table 1 is a self-contained point: all
+     its RNG streams derive from (seed, n, k), so points can run on
+     any domain in any order and the sequential merge below still
+     reproduces the jobs = 1 table bit-for-bit. *)
+  let points =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (row : Gossip.Bounds.table1_row) -> (n, row))
+          Gossip.Bounds.table1)
+      ns
+    |> Array.of_list
+  in
+  let run_point (n, (row : Gossip.Bounds.table1_row)) =
+    let k = row.k_of_n ~n in
+    let s = min n k in
+    let rng = Dynet.Rng.make ~seed:(seed + n + k) in
+    let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s in
+    let schedule = dense_schedule ~seed:(seed + (3 * n) + k) ~n in
+    let rw =
+      Gossip.Runners.oblivious_rw ~instance ~schedule
+        ~seed:(seed + (7 * n) + k) ~const_f:0.02 ~force_rw:true ()
+    in
+    let ms_result, _ =
+      Gossip.Runners.multi_source ~instance
+        ~env:
+          (Gossip.Runners.Oblivious
+             (dense_schedule ~seed:(seed + (11 * n) + k) ~n))
+        ()
+    in
+    let rw_amortized =
+      float_of_int rw.Gossip.Oblivious_rw.paper_messages /. float_of_int k
+    in
+    let ms_amortized =
+      Engine.Ledger.amortized ms_result.Engine.Run_result.ledger ~k
+    in
+    ( rw_amortized < ms_amortized,
+      [
+        string_of_int n;
+        row.label;
+        string_of_int k;
+        string_of_int s;
+        Table.ffloat rw_amortized;
+        Table.ffloat ms_amortized;
+        row.paper_bound;
+        (if rw.Gossip.Oblivious_rw.completed then "yes" else "NO");
+      ] )
+  in
+  let results =
+    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e1-point" run_point points
+  in
   let wins = ref 0 and cases = ref 0 in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (row : Gossip.Bounds.table1_row) ->
-          let k = row.k_of_n ~n in
-          let s = min n k in
-          let rng = Dynet.Rng.make ~seed:(seed + n + k) in
-          let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s in
-          let schedule = dense_schedule ~seed:(seed + (3 * n) + k) ~n in
-          let rw =
-            Gossip.Runners.oblivious_rw ~instance ~schedule
-              ~seed:(seed + (7 * n) + k) ~const_f:0.02 ~force_rw:true ()
-          in
-          let ms_result, _ =
-            Gossip.Runners.multi_source ~instance
-              ~env:
-                (Gossip.Runners.Oblivious
-                   (dense_schedule ~seed:(seed + (11 * n) + k) ~n))
-              ()
-          in
-          let rw_amortized =
-            float_of_int rw.Gossip.Oblivious_rw.paper_messages /. float_of_int k
-          in
-          let ms_amortized =
-            Engine.Ledger.amortized ms_result.Engine.Run_result.ledger ~k
-          in
-          incr cases;
-          if rw_amortized < ms_amortized then incr wins;
-          rows :=
-            [
-              string_of_int n;
-              row.label;
-              string_of_int k;
-              string_of_int s;
-              Table.ffloat rw_amortized;
-              Table.ffloat ms_amortized;
-              row.paper_bound;
-              (if rw.Gossip.Oblivious_rw.completed then "yes" else "NO");
-            ]
-            :: !rows)
-        Gossip.Bounds.table1)
-    ns;
+  let rows = ref [] in
+  Array.iter
+    (fun (win, cells) ->
+      incr cases;
+      if win then incr wins;
+      rows := cells :: !rows)
+    results;
   let shape =
     Printf.sprintf
       "shape check (%s): Algorithm 2 beats Multi-Source-Unicast on %d/%d \
@@ -230,67 +245,80 @@ let free_edges ?(n = 64) ?(trials = 25) ?metrics ~seed () =
 
 (* {2 E4 + E5 — single source} *)
 
-let single_source ?(ns = [ 16; 24; 32 ]) ?metrics ~seed () =
+(* E4's environment grid for one node count; every entry's schedule is
+   derived from (seed, n) alone, so a point can rebuild it on whatever
+   domain it lands on. *)
+let single_source_envs ~seed ~n =
+  [
+    ( "static",
+      Gossip.Runners.Oblivious
+        (Adversary.Oblivious.static
+           (Dynet.Graph_gen.random_connected
+              (Dynet.Rng.make ~seed:(seed + n)) ~n ~p:0.15)),
+      true );
+    ( "rotator-3st",
+      Gossip.Runners.Oblivious
+        (stable (Adversary.Oblivious.tree_rotator ~seed:(seed + n + 1) ~n)),
+      true );
+    ( "rewiring-3st",
+      Gossip.Runners.Oblivious
+        (stable
+           (Adversary.Oblivious.rewiring ~seed:(seed + n + 2) ~n ~extra:n
+              ~rate:0.3)),
+      true );
+    ( "cutter-80",
+      Gossip.Runners.Request_cutting { seed = seed + n + 3; cut_prob = 0.8 },
+      false );
+  ]
+
+let single_source ?(ns = [ 16; 24; 32 ]) ?jobs ?metrics ~seed () =
   timed ?metrics "experiment/e4-single-source" @@ fun () ->
+  let env_count = List.length (single_source_envs ~seed ~n:2) in
+  let points =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun k -> List.init env_count (fun i -> (n, k, i)))
+          [ n / 2; n; 4 * n ])
+      ns
+    |> Array.of_list
+  in
+  let run_point (n, k, i) =
+    let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+    let budget = Gossip.Bounds.single_source_budget ~n ~k in
+    let env_name, env, is_stable = List.nth (single_source_envs ~seed ~n) i in
+    let result, _ = Gossip.Runners.single_source ~instance ~env () in
+    let ledger = result.Engine.Run_result.ledger in
+    let competitive = Engine.Ledger.competitive_cost ledger ~alpha:1. in
+    let ratio = competitive /. budget in
+    let rounds_ok =
+      (not is_stable) || result.Engine.Run_result.rounds <= (2 * n * k) + (2 * n)
+    in
+    ( ratio <= 2.,
+      rounds_ok,
+      [
+        string_of_int n;
+        string_of_int k;
+        env_name;
+        Table.fint (Engine.Ledger.total ledger);
+        Table.fint (Engine.Ledger.tc ledger);
+        Table.ffloat competitive;
+        Table.fratio ratio;
+        string_of_int result.Engine.Run_result.rounds;
+        Table.ffloat (Engine.Ledger.amortized_competitive ledger ~alpha:1. ~k);
+      ] )
+  in
+  let results =
+    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e4-point" run_point points
+  in
   let rows = ref [] in
   let within_budget = ref true and within_rounds = ref true in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun k ->
-          let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
-          let budget = Gossip.Bounds.single_source_budget ~n ~k in
-          let envs =
-            [
-              ( "static",
-                Gossip.Runners.Oblivious
-                  (Adversary.Oblivious.static
-                     (Dynet.Graph_gen.random_connected
-                        (Dynet.Rng.make ~seed:(seed + n)) ~n ~p:0.15)),
-                true );
-              ( "rotator-3st",
-                Gossip.Runners.Oblivious
-                  (stable (Adversary.Oblivious.tree_rotator ~seed:(seed + n + 1) ~n)),
-                true );
-              ( "rewiring-3st",
-                Gossip.Runners.Oblivious
-                  (stable
-                     (Adversary.Oblivious.rewiring ~seed:(seed + n + 2) ~n
-                        ~extra:n ~rate:0.3)),
-                true );
-              ( "cutter-80",
-                Gossip.Runners.Request_cutting
-                  { seed = seed + n + 3; cut_prob = 0.8 },
-                false );
-            ]
-          in
-          List.iter
-            (fun (env_name, env, is_stable) ->
-              let result, _ = Gossip.Runners.single_source ~instance ~env () in
-              let ledger = result.Engine.Run_result.ledger in
-              let competitive = Engine.Ledger.competitive_cost ledger ~alpha:1. in
-              let ratio = competitive /. budget in
-              if ratio > 2. then within_budget := false;
-              if
-                is_stable
-                && result.Engine.Run_result.rounds > (2 * n * k) + (2 * n)
-              then within_rounds := false;
-              rows :=
-                [
-                  string_of_int n;
-                  string_of_int k;
-                  env_name;
-                  Table.fint (Engine.Ledger.total ledger);
-                  Table.fint (Engine.Ledger.tc ledger);
-                  Table.ffloat competitive;
-                  Table.fratio ratio;
-                  string_of_int result.Engine.Run_result.rounds;
-                  Table.ffloat (Engine.Ledger.amortized_competitive ledger ~alpha:1. ~k);
-                ]
-                :: !rows)
-            envs)
-        [ n / 2; n; 4 * n ])
-    ns;
+  Array.iter
+    (fun (budget_ok, rounds_ok, cells) ->
+      if not budget_ok then within_budget := false;
+      if not rounds_ok then within_rounds := false;
+      rows := cells :: !rows)
+    results;
   Table.make
     ~title:
       "E4/E5 (Theorems 3.1/3.4): Single-Source-Unicast, 1-adversary-\
@@ -373,38 +401,60 @@ let multi_source ?(n = 24) ?(k = 96) ?(ss = [ 1; 2; 4; 8; 16; 24 ]) ?metrics
 
 (* {2 E7 — Theorem 3.8 scaling} *)
 
-let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?metrics ~seed () =
+let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?jobs ?metrics
+    ~seed () =
   timed ?metrics "experiment/e7-rw-scaling" @@ fun () ->
   let replicates = 4 in
+  (* Points are (k, replicate): each Algorithm-2 run seeds from its own
+     salt, so replicates parallelize as freely as the k sweep. *)
+  let points =
+    List.concat_map
+      (fun k -> List.init replicates (fun i -> (k, i + 1)))
+      ks
+    |> Array.of_list
+  in
+  let run_point (k, rep) =
+    let s = min n k in
+    let salt = (rep * 7919) + k in
+    let rng = Dynet.Rng.make ~seed:(seed + salt) in
+    let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s in
+    let schedule = dense_schedule ~seed:(seed + (2 * salt)) ~n in
+    let r =
+      Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:(seed + (3 * salt))
+        ~const_f:0.02 ~force_rw:true ()
+    in
+    let ledger = r.Gossip.Oblivious_rw.ledger in
+    let count cls = float_of_int (Engine.Ledger.count ledger cls) in
+    ( float_of_int r.Gossip.Oblivious_rw.paper_messages,
+      float_of_int r.Gossip.Oblivious_rw.centers,
+      count Engine.Msg_class.Completeness,
+      count Engine.Msg_class.Token +. count Engine.Msg_class.Request,
+      count Engine.Msg_class.Walk )
+  in
+  let results =
+    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e7-point" run_point points
+  in
   let rows = ref [] in
   let announce_pts = ref []
   and deliver_pts = ref []
   and amort_pts = ref [] in
   let amort_means = ref [] in
+  let next = ref 0 in
   List.iter
     (fun k ->
-      let s = min n k in
       let acc_total = ref [] and acc_centers = ref [] in
       let acc_announce = ref [] and acc_deliver = ref [] and acc_walk = ref [] in
-      for rep = 1 to replicates do
-        let salt = (rep * 7919) + k in
-        let rng = Dynet.Rng.make ~seed:(seed + salt) in
-        let instance = Gossip.Instance.multi_source ~rng ~n ~k ~s in
-        let schedule = dense_schedule ~seed:(seed + (2 * salt)) ~n in
-        let r =
-          Gossip.Runners.oblivious_rw ~instance ~schedule
-            ~seed:(seed + (3 * salt)) ~const_f:0.02 ~force_rw:true ()
-        in
-        let ledger = r.Gossip.Oblivious_rw.ledger in
-        let count cls = float_of_int (Engine.Ledger.count ledger cls) in
-        acc_total :=
-          float_of_int r.Gossip.Oblivious_rw.paper_messages :: !acc_total;
-        acc_centers := float_of_int r.Gossip.Oblivious_rw.centers :: !acc_centers;
-        acc_announce := count Engine.Msg_class.Completeness :: !acc_announce;
-        acc_deliver :=
-          count Engine.Msg_class.Token +. count Engine.Msg_class.Request
-          :: !acc_deliver;
-        acc_walk := count Engine.Msg_class.Walk :: !acc_walk
+      (* Consume this k's replicates in rep order, prepending like the
+         sequential loop did, so the mean folds over the same list and
+         rounds identically. *)
+      for _rep = 1 to replicates do
+        let total, centers, announce, deliver, walk = results.(!next) in
+        incr next;
+        acc_total := total :: !acc_total;
+        acc_centers := centers :: !acc_centers;
+        acc_announce := announce :: !acc_announce;
+        acc_deliver := deliver :: !acc_deliver;
+        acc_walk := walk :: !acc_walk
       done;
       let mean = Engine.Stats.mean in
       let kf = float_of_int k in
@@ -1253,15 +1303,15 @@ let robustness_crash ?(n = 16) ?(k = 16)
       ]
     (List.rev !rows)
 
-let all ?metrics ~seed () =
+let all ?jobs ?metrics ~seed () =
   [
     environments ?metrics ~seed ();
-    table1 ?metrics ~seed ();
+    table1 ?jobs ?metrics ~seed ();
     lower_bound ?metrics ~seed ();
     free_edges ?metrics ~seed ();
-    single_source ?metrics ~seed ();
+    single_source ?jobs ?metrics ~seed ();
     multi_source ?metrics ~seed ();
-    rw_scaling ?metrics ~seed ();
+    rw_scaling ?jobs ?metrics ~seed ();
     static_baseline ?metrics ~seed ();
     time_vs_messages ?metrics ~seed ();
     ablation ?metrics ~seed ();

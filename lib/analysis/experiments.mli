@@ -13,9 +13,19 @@
     wall-clock is then recorded as an ["experiment/<id>"] histogram
     sample (via {!Obs.Timer.observe_span}), so callers — the bench
     harness, the CLI's [experiments --timings] — can report where
-    simulator time goes. *)
+    simulator time goes.
 
-val table1 : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
+    The grid-shaped sweeps (E1, E4, E7) additionally accept [?jobs]
+    and fan their points out over OCaml 5 domains via {!Sweep.map};
+    every point derives its RNG streams from the seed and the point
+    coordinates alone and results merge in input order, so the tables
+    (message counts included) are bit-identical for every [jobs]
+    value.  With [?metrics], each point's wall-clock also lands in a
+    ["sweep/<id>-point"] histogram. *)
+
+val table1 :
+  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit ->
+  Table.t
 (** E1 — Table 1: amortized message complexity of Algorithm 2 across
     the paper's four k-regimes, vs. plain Multi-Source-Unicast and the
     paper's closed-form bound.  Sources: every node ([s = n], the
@@ -30,7 +40,9 @@ val free_edges : ?n:int -> ?trials:int -> ?metrics:Obs.Metrics.t -> seed:int -> 
 (** E3 — Figure 1 / Lemmas 2.1–2.2: structure of the free-edge graph
     as a function of the number of broadcasting nodes. *)
 
-val single_source : ?ns:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
+val single_source :
+  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit ->
+  Table.t
 (** E4+E5 — Theorems 3.1/3.4: Single-Source-Unicast messages vs the
     O(n² + nk) + TC budget and rounds vs the O(nk) bound, across
     environments including the adaptive request-cutter. *)
@@ -39,7 +51,9 @@ val multi_source : ?n:int -> ?k:int -> ?ss:int list -> ?metrics:Obs.Metrics.t ->
 (** E6 — Theorems 3.5/3.6: Multi-Source-Unicast vs the O(n²s + nk) +
     TC budget as the source count grows. *)
 
-val rw_scaling : ?n:int -> ?ks:int list -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t
+val rw_scaling :
+  ?n:int -> ?ks:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int ->
+  unit -> Table.t
 (** E7 — Theorem 3.8: total and amortized messages of Algorithm 2 as k
     grows at fixed n; reports the measured log-log growth exponents
     against the paper's 1/4 (total) and −3/4 (amortized). *)
@@ -111,5 +125,6 @@ val robustness_crash :
     round/message inflation — and at worst a graceful [Partial] or
     [Aborted] verdict — never wrong answers. *)
 
-val all : ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t list
-(** Every experiment at its default size, in index order. *)
+val all : ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t list
+(** Every experiment at its default size, in index order; [?jobs] is
+    forwarded to the sweep-parallel ones (E1, E4, E7). *)

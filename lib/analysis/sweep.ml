@@ -1,0 +1,46 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Shared-cursor work sharing: slot [i] of [results] only ever belongs
+   to point [i], so the only cross-domain contention is the Atomic
+   cursor itself, and the join gives the caller a happens-before edge
+   over every slot. *)
+let run ~jobs f points =
+  let n = Array.length points in
+  let results = Array.make n None in
+  let job i = results.(i) <- Some (try Ok (f points.(i)) with e -> Error e) in
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      job i
+    done
+  else begin
+    let cursor = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        job i;
+        worker ()
+      end
+    in
+    let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  (* First failure by input index, not by completion order. *)
+  Array.map
+    (function
+      | Some (Ok r) -> r
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+let map ?(jobs = 1) f points = run ~jobs f points
+
+let map_timed ?(jobs = 1) ?metrics ~name f points =
+  let timed = run ~jobs (fun x -> Obs.Timer.time (fun () -> f x)) points in
+  Array.map
+    (fun (r, dt) ->
+      (match metrics with
+      | Some m -> Obs.Metrics.observe m name dt
+      | None -> ());
+      r)
+    timed

@@ -1,0 +1,55 @@
+type t = { n : int; tbl : (int, unit) Hashtbl.t }
+
+let create ~n ?(size_hint = 64) () =
+  if n < 0 then invalid_arg "Edge_table.create: negative n";
+  { n; tbl = Hashtbl.create size_hint }
+
+let n t = t.n
+let cardinal t = Hashtbl.length t.tbl
+
+let key ~n u v =
+  if u = v then invalid_arg "Edge_table.key: self-loop";
+  let u, v = if u < v then (u, v) else (v, u) in
+  if u < 0 || v >= n then
+    invalid_arg
+      (Printf.sprintf "Edge_table.key: endpoint out of range (%d,%d) n=%d" u v n);
+  (u * n) + v
+
+let add_pair t u v = Hashtbl.replace t.tbl (key ~n:t.n u v) ()
+
+let add_edge t e =
+  let u, v = Edge.endpoints e in
+  add_pair t u v
+
+let mem_pair t u v =
+  u <> v
+  && u >= 0 && v >= 0 && u < t.n && v < t.n
+  && Hashtbl.mem t.tbl (key ~n:t.n u v)
+
+let remove_pair t u v =
+  if u <> v && u >= 0 && v >= 0 && u < t.n && v < t.n then
+    Hashtbl.remove t.tbl (key ~n:t.n u v)
+
+let iter_pairs f t =
+  Hashtbl.iter (fun k () -> f (k / t.n) (k mod t.n)) t.tbl
+
+let sorted_keys t =
+  let a = Array.make (Hashtbl.length t.tbl) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+      a.(!i) <- k;
+      incr i)
+    t.tbl;
+  Array.sort compare a;
+  a
+
+let of_edge_set ~n set =
+  let t = create ~n ~size_hint:(max 64 (Edge_set.cardinal set)) () in
+  Edge_set.iter (fun e -> add_edge t e) set;
+  t
+
+let to_edge_set t =
+  let acc = ref Edge_set.empty in
+  iter_pairs (fun u v -> acc := Edge_set.add_pair u v !acc) t;
+  !acc

@@ -1,0 +1,43 @@
+(** Mutable hashed edge set keyed by a single packed int.
+
+    The canonical edge [(u, v)] with [u < v < n] maps to the key
+    [u * n + v].  Because {!Edge.compare} is lexicographic on the
+    canonical endpoints, sorting keys numerically reproduces exactly
+    the iteration order of {!Edge_set} — which is what lets
+    {!Graph.of_table} build sorted adjacency without re-sorting.
+
+    This is the accumulation structure for graph generators and the
+    stability wrapper: O(1) amortised insert/membership instead of the
+    O(log m) of the balanced-tree [Edge_set], with zero per-edge boxing
+    (the key is an immediate). *)
+
+type t
+
+val create : n:int -> ?size_hint:int -> unit -> t
+(** Empty table for graphs on [n] nodes.
+    @raise Invalid_argument if [n < 0]. *)
+
+val n : t -> int
+val cardinal : t -> int
+
+val key : n:int -> Node_id.t -> Node_id.t -> int
+(** Packed key of the canonical form of [(u, v)].
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val add_pair : t -> Node_id.t -> Node_id.t -> unit
+(** Insert the edge [{u, v}] (idempotent).
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+
+val add_edge : t -> Edge.t -> unit
+val mem_pair : t -> Node_id.t -> Node_id.t -> bool
+val remove_pair : t -> Node_id.t -> Node_id.t -> unit
+
+val iter_pairs : (Node_id.t -> Node_id.t -> unit) -> t -> unit
+(** Unordered iteration (hash order). *)
+
+val sorted_keys : t -> int array
+(** All packed keys in increasing order — i.e. in {!Edge.compare}
+    order of the corresponding edges. *)
+
+val of_edge_set : n:int -> Edge_set.t -> t
+val to_edge_set : t -> Edge_set.t

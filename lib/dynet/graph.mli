@@ -15,6 +15,13 @@ val make : n:int -> Edge_set.t -> t
 (** [make ~n edges] builds the snapshot.
     @raise Invalid_argument if [n < 0] or an endpoint is ≥ [n]. *)
 
+val of_table : Edge_table.t -> t
+(** Fast-path constructor from an int-keyed edge table (the graph
+    generators and the stability wrapper accumulate into one).  The
+    sorted packed keys are used directly, so adjacency is built without
+    ever materialising an [Edge_set]; the set view is created lazily on
+    the first call to {!edges}. *)
+
 val empty : n:int -> t
 (** The empty graph [(V, ∅)] — the paper's [G_0]. *)
 
@@ -22,8 +29,25 @@ val n : t -> int
 (** Number of nodes. *)
 
 val edges : t -> Edge_set.t
+(** The edge set view.  Materialised lazily (and memoised) when the
+    graph was built through {!of_table}; O(1) otherwise. *)
+
 val edge_count : t -> int
+
 val mem_edge : t -> Node_id.t -> Node_id.t -> bool
+(** Binary search over the packed edge keys: O(log m), allocation
+    free. *)
+
+val delta_counts : prev:t -> cur:t -> int * int
+(** [(inserted, removed)] edge counts between two snapshots on the same
+    node set — a single merge walk over the sorted key arrays, with a
+    physical-equality fast path returning [(0, 0)] when the adversary
+    reused the previous round's graph.
+    @raise Invalid_argument if node counts differ. *)
+
+val same_edges : t -> t -> bool
+(** Structural edge-set equality (with a physical-equality fast
+    path). *)
 
 val neighbors : t -> Node_id.t -> Node_id.t array
 (** Neighbors in increasing order.  The returned array is owned by the
@@ -32,7 +56,18 @@ val neighbors : t -> Node_id.t -> Node_id.t array
 val degree : t -> Node_id.t -> int
 val max_degree : t -> int
 
+val incident_edges : t -> Node_id.t -> Edge.t list
+(** Edges incident to the node, in increasing neighbor order — O(deg)
+    via the adjacency row.  Prefer this over
+    [Edge_set.incident_to (edges g) v], which folds over all m
+    edges. *)
+
 val fold_nodes : (Node_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_pairs : (Node_id.t -> Node_id.t -> unit) -> t -> unit
+(** Canonical endpoint pairs ([u < v]) in {!Edge.compare} order,
+    without allocating [Edge.t] values — the fast-path iteration. *)
+
 val iter_edges : (Edge.t -> unit) -> t -> unit
 
 val bfs_order : t -> Node_id.t -> (Node_id.t * int) list

@@ -1,81 +1,81 @@
+(* All builders accumulate into an int-keyed Edge_table and construct
+   the snapshot through Graph.of_table: O(1) amortised inserts and no
+   balanced-tree churn.  RNG draw sequences are identical to the
+   Edge_set-based versions, so fixed-seed runs reproduce bit-for-bit. *)
+
+let table ~n ?size_hint () = Edge_table.create ~n ?size_hint ()
+
 let path ~n =
-  let edges = ref Edge_set.empty in
+  let t = table ~n ~size_hint:n () in
   for i = 0 to n - 2 do
-    edges := Edge_set.add_pair i (i + 1) !edges
+    Edge_table.add_pair t i (i + 1)
   done;
-  Graph.make ~n !edges
+  Graph.of_table t
 
 let cycle ~n =
   if n < 3 then path ~n
   else begin
-    let edges = ref Edge_set.empty in
+    let t = table ~n ~size_hint:n () in
     for i = 0 to n - 2 do
-      edges := Edge_set.add_pair i (i + 1) !edges
+      Edge_table.add_pair t i (i + 1)
     done;
-    edges := Edge_set.add_pair (n - 1) 0 !edges;
-    Graph.make ~n !edges
+    Edge_table.add_pair t (n - 1) 0;
+    Graph.of_table t
   end
 
 let star ~n =
-  let edges = ref Edge_set.empty in
+  let t = table ~n ~size_hint:n () in
   for i = 1 to n - 1 do
-    edges := Edge_set.add_pair 0 i !edges
+    Edge_table.add_pair t 0 i
   done;
-  Graph.make ~n !edges
+  Graph.of_table t
 
-let clique ~n =
-  let edges = ref Edge_set.empty in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      edges := Edge_set.add_pair i j !edges
-    done
-  done;
-  Graph.make ~n !edges
-
-let clique_edges lo hi acc =
-  let acc = ref acc in
+let add_clique t lo hi =
   for i = lo to hi do
     for j = i + 1 to hi do
-      acc := Edge_set.add_pair i j !acc
+      Edge_table.add_pair t i j
     done
-  done;
-  !acc
+  done
+
+let clique ~n =
+  let t = table ~n ~size_hint:(n * n) () in
+  add_clique t 0 (n - 1);
+  Graph.of_table t
 
 let barbell ~n =
   if n < 2 then path ~n
   else begin
     let half = n / 2 in
-    let edges = clique_edges 0 (half - 1) Edge_set.empty in
-    let edges = clique_edges half (n - 1) edges in
-    let edges = Edge_set.add_pair (half - 1) half edges in
-    Graph.make ~n edges
+    let t = table ~n ~size_hint:((n * n / 2) + 1) () in
+    add_clique t 0 (half - 1);
+    add_clique t half (n - 1);
+    Edge_table.add_pair t (half - 1) half;
+    Graph.of_table t
   end
 
 let lollipop ~n =
   if n < 2 then path ~n
   else begin
     let head = (n + 1) / 2 in
-    let edges = clique_edges 0 (head - 1) Edge_set.empty in
-    let edges = ref edges in
+    let t = table ~n ~size_hint:((n * n / 2) + 1) () in
+    add_clique t 0 (head - 1);
     for i = head - 1 to n - 2 do
-      edges := Edge_set.add_pair i (i + 1) !edges
+      Edge_table.add_pair t i (i + 1)
     done;
-    Graph.make ~n !edges
+    Graph.of_table t
   end
 
 let grid ~n =
   if n < 2 then path ~n
   else begin
     let cols = int_of_float (ceil (sqrt (float_of_int n))) in
-    let edges = ref Edge_set.empty in
+    let t = table ~n ~size_hint:(2 * n) () in
     for v = 0 to n - 1 do
       let r = v / cols and c = v mod cols in
-      if c + 1 < cols && v + 1 < n then
-        edges := Edge_set.add_pair v (v + 1) !edges;
-      if (r + 1) * cols + c < n then
-        edges := Edge_set.add_pair v (v + cols) !edges
+      if c + 1 < cols && v + 1 < n then Edge_table.add_pair t v (v + 1);
+      if (r + 1) * cols + c < n then Edge_table.add_pair t v (v + cols)
     done;
-    Graph.make ~n !edges
+    Graph.of_table t
   end
 
 let hypercube ~n =
@@ -86,63 +86,69 @@ let hypercube ~n =
       loop 0
     in
     let cube = 1 lsl dim in
-    let edges = ref Edge_set.empty in
+    let t = table ~n ~size_hint:(n * (dim + 1)) () in
     for v = 0 to cube - 1 do
       for b = 0 to dim - 1 do
         let w = v lxor (1 lsl b) in
-        if w > v then edges := Edge_set.add_pair v w !edges
+        if w > v then Edge_table.add_pair t v w
       done
     done;
     for v = cube to n - 1 do
-      edges := Edge_set.add_pair v (v mod cube) !edges
+      Edge_table.add_pair t v (v mod cube)
     done;
-    Graph.make ~n !edges
+    Graph.of_table t
   end
+
+(* Random-tree edges into an existing table; same draws as the old
+   Edge_set-based builder. *)
+let add_random_tree t rng ~n =
+  let order = Rng.permutation rng n in
+  for i = 1 to n - 1 do
+    let attach_to = order.(Rng.int rng i) in
+    Edge_table.add_pair t order.(i) attach_to
+  done
 
 let random_tree rng ~n =
   if n <= 1 then Graph.empty ~n
   else begin
-    let order = Rng.permutation rng n in
-    let edges = ref Edge_set.empty in
-    for i = 1 to n - 1 do
-      let attach_to = order.(Rng.int rng i) in
-      edges := Edge_set.add_pair order.(i) attach_to !edges
-    done;
-    Graph.make ~n !edges
+    let t = table ~n ~size_hint:n () in
+    add_random_tree t rng ~n;
+    Graph.of_table t
   end
 
 let random_connected rng ~n ~p =
-  let edges = ref (Graph.edges (random_tree rng ~n)) in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if Rng.bernoulli rng p then edges := Edge_set.add_pair i j !edges
-    done
-  done;
-  Graph.make ~n !edges
+  if n <= 1 then Graph.empty ~n
+  else begin
+    let t = table ~n ~size_hint:(2 * n) () in
+    add_random_tree t rng ~n;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.bernoulli rng p then Edge_table.add_pair t i j
+      done
+    done;
+    Graph.of_table t
+  end
 
 let random_regularish rng ~n ~d =
   if n <= 2 then path ~n
   else begin
-    let edges = ref (Graph.edges (cycle ~n)) in
     (* Renumber a random Hamiltonian cycle instead of the canonical one,
        then overlay matching batches built from random permutations. *)
+    let t = table ~n ~size_hint:(n * (d + 1)) () in
     let perm = Rng.permutation rng n in
-    let cyc = ref Edge_set.empty in
     for i = 0 to n - 1 do
-      cyc := Edge_set.add_pair perm.(i) perm.((i + 1) mod n) !cyc
+      Edge_table.add_pair t perm.(i) perm.((i + 1) mod n)
     done;
-    edges := !cyc;
     let batches = max 0 ((d - 2 + 1) / 2) in
     for _ = 1 to batches do
       let m = Rng.permutation rng n in
       let i = ref 0 in
       while !i + 1 < n do
-        if m.(!i) <> m.(!i + 1) then
-          edges := Edge_set.add_pair m.(!i) m.(!i + 1) !edges;
+        if m.(!i) <> m.(!i + 1) then Edge_table.add_pair t m.(!i) m.(!i + 1);
         i := !i + 2
       done
     done;
-    Graph.make ~n !edges
+    Graph.of_table t
   end
 
 let all_named =

@@ -1,16 +1,22 @@
+(* Active edges live in a hash table keyed by the packed edge key
+   (u*n + v, as in Edge_table), mapped to the round their current run
+   started.  When a step changes nothing — the common case in the
+   paper's 3-edge-stable environments, where most proposals repeat the
+   previous round — the previously built graph is returned as-is, so
+   its adjacency arrays (and lazily built edge set) are reused instead
+   of being rebuilt O(m) every round. *)
 type t = {
   sigma : int;
   n : int;
-  (* Edges currently present, mapped to the round index (1-based, counted
-     internally) at which their current run started. *)
-  mutable active : (Edge.t * int) list;
+  born : (int, int) Hashtbl.t;
   mutable round : int;
+  mutable last : Graph.t;
 }
 
 let create ~sigma ~n =
   if sigma < 1 then invalid_arg "Stability.create: sigma must be >= 1";
   if n < 0 then invalid_arg "Stability.create: negative n";
-  { sigma; n; active = []; round = 0 }
+  { sigma; n; born = Hashtbl.create 64; round = 0; last = Graph.empty ~n }
 
 let sigma t = t.sigma
 
@@ -18,24 +24,41 @@ let step t proposal =
   if Graph.n proposal <> t.n then
     invalid_arg "Stability.step: node count mismatch";
   t.round <- t.round + 1;
-  let proposed = Graph.edges proposal in
-  (* Keep an active edge if it is still proposed (its run continues) or
-     if it is too young to drop. *)
-  let kept =
-    List.filter
-      (fun (e, born) ->
-        Edge_set.mem e proposed || t.round - born < t.sigma)
-      t.active
-  in
-  let kept_edges =
-    List.fold_left (fun acc (e, _) -> Edge_set.add e acc) Edge_set.empty kept
-  in
-  let inserted = Edge_set.diff proposed kept_edges in
-  let active =
-    Edge_set.fold (fun e acc -> (e, t.round) :: acc) inserted kept
-  in
-  t.active <- active;
-  Graph.make ~n:t.n (Edge_set.union proposed kept_edges)
+  let changed = ref false in
+  (* Drop an active edge once it is no longer proposed and its run is
+     at least sigma rounds old; a still-proposed edge keeps the round
+     its run started. *)
+  let removals = ref [] in
+  Hashtbl.iter
+    (fun key born ->
+      if
+        (not (Graph.mem_edge proposal (key / t.n) (key mod t.n)))
+        && t.round - born >= t.sigma
+      then removals := key :: !removals)
+    t.born;
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.born key;
+      changed := true)
+    !removals;
+  Graph.iter_pairs
+    (fun u v ->
+      let key = (u * t.n) + v in
+      if not (Hashtbl.mem t.born key) then begin
+        Hashtbl.replace t.born key t.round;
+        changed := true
+      end)
+    proposal;
+  if !changed then begin
+    let table =
+      Edge_table.create ~n:t.n ~size_hint:(max 64 (Hashtbl.length t.born)) ()
+    in
+    Hashtbl.iter
+      (fun key _ -> Edge_table.add_pair table (key / t.n) (key mod t.n))
+      t.born;
+    t.last <- Graph.of_table table
+  end;
+  t.last
 
 let transform ~sigma = function
   | [] -> []

@@ -86,14 +86,11 @@ let note_round t = t.rounds <- t.rounds + 1
 let rounds t = t.rounds
 
 let note_graph_change t ~prev ~cur =
-  let ep =
-    Dynet.Edge_set.diff (Dynet.Graph.edges cur) (Dynet.Graph.edges prev)
-  in
-  let em =
-    Dynet.Edge_set.diff (Dynet.Graph.edges prev) (Dynet.Graph.edges cur)
-  in
-  t.tc <- t.tc + Dynet.Edge_set.cardinal ep;
-  t.removals <- t.removals + Dynet.Edge_set.cardinal em
+  (* Single merge walk over the graphs' sorted edge keys instead of two
+     Edge_set.diff set constructions per round. *)
+  let inserted, removed = Dynet.Graph.delta_counts ~prev ~cur in
+  t.tc <- t.tc + inserted;
+  t.removals <- t.removals + removed
 
 let tc t = t.tc
 let removals t = t.removals

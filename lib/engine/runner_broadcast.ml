@@ -116,11 +116,18 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       let inboxes =
         if not faulty then
           Array.init n (fun v ->
-              Dynet.Graph.neighbors g v |> Array.to_list
-              |> List.filter_map (fun u ->
-                     match intents.(u) with
-                     | None -> None
-                     | Some m -> Some (u, m)))
+              (* Walk the sorted neighbor row backwards, prepending, so
+                 the inbox comes out in ascending sender order without
+                 the Array.to_list / filter_map intermediates. *)
+              let row = Dynet.Graph.neighbors g v in
+              let acc = ref [] in
+              for i = Array.length row - 1 downto 0 do
+                let u = row.(i) in
+                match intents.(u) with
+                | None -> ()
+                | Some m -> acc := (u, m) :: !acc
+              done;
+              !acc)
         else begin
           (* A local broadcast is charged once but delivered per edge;
              the per-edge deliveries fail (or duplicate, or lag)

@@ -75,6 +75,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     Obs.Sink.emit obs
       (Obs.Trace.Progress { round = 0; progress = p0; learnings = 0 });
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
+  (* One bit per ordered (src, dst) pair, allocated once and cleared
+     per round — replaces a fresh per-round Hashtbl keyed by tuples. *)
+  let token_sent = Dynet.Bitset.create (n * n) in
   let traffic = ref ([] : traffic) in
   let completed = ref (stop states) in
   let aborted = ref None in
@@ -108,7 +111,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       Ledger.note_round ledger;
       let inboxes = Array.make n [] in
       let round_traffic = ref [] in
-      let token_sent = Hashtbl.create 64 in
+      Dynet.Bitset.clear token_sent;
       for v = 0 to n - 1 do
         if (not faulty) || Faults.Plan.alive frun v then begin
           let neighbors = Dynet.Graph.neighbors g v in
@@ -124,13 +127,14 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               let cls = P.classify m in
               (match cls with
               | Msg_class.Token | Msg_class.Walk ->
-                  if Hashtbl.mem token_sent (v, dst) then
+                  let pair = (v * n) + dst in
+                  if Dynet.Bitset.mem token_sent pair then
                     raise
                       (Engine_error.Protocol_violation
                          (Printf.sprintf
                             "round %d: node %d sent two tokens to %d in one round"
                             r v dst));
-                  Hashtbl.replace token_sent (v, dst) ()
+                  Dynet.Bitset.set token_sent pair
               | Msg_class.Completeness | Msg_class.Request | Msg_class.Center
               | Msg_class.Control ->
                   ());

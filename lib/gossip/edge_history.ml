@@ -1,0 +1,33 @@
+module Bitset = Dynet.Bitset
+
+type t = {
+  born : int array;  (* -1 = absent; else round the presence run started *)
+  contrib : Bitset.t;
+}
+
+type category = New | Idle | Contributive
+
+let create ~n = { born = Array.make n (-1); contrib = Bitset.create n }
+
+let refresh t ~round ~neighbors =
+  let n = Array.length t.born in
+  let born = Array.make n (-1) in
+  let contrib = Bitset.create n in
+  Array.iter
+    (fun w ->
+      match t.born.(w) with
+      | -1 -> born.(w) <- round
+      | b ->
+          born.(w) <- b;
+          if Bitset.mem t.contrib w then Bitset.set contrib w)
+    neighbors;
+  { born; contrib }
+
+let mark_contributed t w =
+  if t.born.(w) < 0 || Bitset.mem t.contrib w then t
+  else { t with contrib = Bitset.add w t.contrib }
+
+let categorize t ~round w =
+  if t.born.(w) >= round - 1 then New
+  else if Bitset.mem t.contrib w then Contributive
+  else Idle

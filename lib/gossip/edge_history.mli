@@ -1,0 +1,36 @@
+(** Per-node adjacent-edge history on the fast path.
+
+    Algorithm 1 (and its multi-source extension) classifies each
+    currently present incident edge as {e new} (inserted this round or
+    last), {e contributive} (a new token crossed it since insertion) or
+    {e idle}.  The original representation was a [Node_id.Map] of
+    records rebuilt every round; this packs the same information into
+    a flat [born] array ([-1] = absent, otherwise the round the
+    current presence run started) plus a contribution bitset.
+
+    Values are persistent from the protocol's point of view: {!refresh}
+    and {!mark_contributed} return fresh values (or the input when
+    nothing changes), never mutating state reachable from an engine
+    crash-restart snapshot. *)
+
+type t
+
+type category = New | Idle | Contributive
+
+val create : n:int -> t
+(** No edges present. *)
+
+val refresh : t -> round:int -> neighbors:Dynet.Node_id.t array -> t
+(** Reconcile with this round's neighbor set: departed edges are
+    forgotten (a re-insertion starts a fresh run), arrivals are stamped
+    with [round], surviving edges keep their insertion round and
+    contribution flag. *)
+
+val mark_contributed : t -> Dynet.Node_id.t -> t
+(** Record that a new token crossed the edge to the given neighbor.
+    No-op (returns the input) if the edge is not currently present or
+    already marked. *)
+
+val categorize : t -> round:int -> Dynet.Node_id.t -> category
+(** Category of a currently present edge.  Only meaningful for nodes
+    in the current neighbor set (i.e. after {!refresh} this round). *)

@@ -1,24 +1,29 @@
 type state = {
   k : int;
   phase_len : int;
-  (* tokens by uid; None = not yet known *)
-  known : Token.t option array;
+  (* Full uid -> token catalog, shared (never mutated) by every node's
+     state: the instance fixes the token set up front, so per-node
+     knowledge is just a packed bitset over uids instead of a
+     Token.t option array copied on every learn. *)
+  catalog : Token.t array;
+  mask : Dynet.Bitset.t;
   known_count : int;
 }
 
-let knows st uid = st.known.(uid) <> None
+let knows st uid = Dynet.Bitset.mem st.mask uid
 let known_count st = st.known_count
 
 let all_complete ~k states =
   Array.for_all (fun st -> st.known_count >= k) states
 
 let learn st (tok : Token.t) =
-  if st.known.(tok.uid) <> None then st
-  else begin
-    let known = Array.copy st.known in
-    known.(tok.uid) <- Some tok;
-    { st with known; known_count = st.known_count + 1 }
-  end
+  if Dynet.Bitset.mem st.mask tok.uid then st
+  else
+    {
+      st with
+      mask = Dynet.Bitset.add tok.uid st.mask;
+      known_count = st.known_count + 1;
+    }
 
 module P = struct
   type nonrec state = state
@@ -28,9 +33,9 @@ module P = struct
 
   let intent st ~round =
     let phase = (round - 1) / st.phase_len mod st.k in
-    match st.known.(phase) with
-    | None -> (st, None)
-    | Some tok -> (st, Some (Payload.Token_msg tok))
+    if Dynet.Bitset.mem st.mask phase then
+      (st, Some (Payload.Token_msg st.catalog.(phase)))
+    else (st, None)
 
   let receive st ~round:_ ~inbox =
     List.fold_left
@@ -55,13 +60,14 @@ let init ~instance ?phase_len () =
   let k = Instance.k instance in
   let phase_len = Option.value phase_len ~default:(max 1 n) in
   if phase_len < 1 then invalid_arg "Flooding.init: phase_len must be >= 1";
+  let catalog = Array.make k (Token.make ~src:0 ~idx:0 ~uid:0) in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (tok : Token.t) -> catalog.(tok.uid) <- tok)
+      (Instance.tokens_of instance v)
+  done;
   Array.init n (fun v ->
       let st =
-        {
-          k;
-          phase_len;
-          known = Array.make k None;
-          known_count = 0;
-        }
+        { k; phase_len; catalog; mask = Dynet.Bitset.create k; known_count = 0 }
       in
       List.fold_left learn st (Instance.tokens_of instance v))

@@ -1,35 +1,29 @@
 module IMap = Map.Make (Int)
-module NSet = Dynet.Node_id.Set
 module NMap = Dynet.Node_id.Map
-
-type edge_info = { inserted_at : int; contributed : bool }
+module Bitset = Dynet.Bitset
 
 (* Everything node v tracks about one discovered source x. *)
 type per_source = {
   count : int option;  (* k_x, once learned *)
-  known : Token.t IMap.t;  (* x's tokens held, by idx *)
+  known : Token.t IMap.t;  (* x's tokens held, by idx — kept for serving *)
+  kmask : Bitset.t;  (* packed "have idx" bits, capacity = instance k *)
+  kcount : int;  (* cached IMap.cardinal known *)
   complete : bool;  (* x ∈ I_v *)
-  informed : NSet.t;  (* R_v(x) *)
-  announcers : NSet.t;  (* S_v(x) *)
+  informed : Bitset.t;  (* R_v(x) *)
+  announcers : Bitset.t;  (* S_v(x) *)
 }
-
-let fresh_source =
-  {
-    count = None;
-    known = IMap.empty;
-    complete = false;
-    informed = NSet.empty;
-    announcers = NSet.empty;
-  }
 
 type source_order = Min_source | Random_source
 
 type state = {
   me : Dynet.Node_id.t;
+  n : int;
+  cap_k : int;  (* instance-wide token count: capacity of the kmasks *)
   source_order : source_order;
   rng : Dynet.Rng.t;
   sources : per_source NMap.t;  (* discovered sources *)
-  edges : edge_info NMap.t;
+  total_known : int;  (* cached sum of kcount over sources *)
+  edges : Edge_history.t;
   pending : (Dynet.Node_id.t * Dynet.Node_id.t * int) list;
       (* (neighbor asked, source, idx) sent last round *)
   to_serve : (Dynet.Node_id.t * Dynet.Node_id.t * int) list;
@@ -38,39 +32,36 @@ type state = {
   announcements_sent : int;
 }
 
+let fresh_source ~n ~cap_k =
+  {
+    count = None;
+    known = IMap.empty;
+    kmask = Bitset.create cap_k;
+    kcount = 0;
+    complete = false;
+    informed = Bitset.create n;
+    announcers = Bitset.create n;
+  }
+
 let source_info st x =
-  Option.value (NMap.find_opt x st.sources) ~default:fresh_source
+  match NMap.find_opt x st.sources with
+  | Some ps -> ps
+  | None -> fresh_source ~n:st.n ~cap_k:st.cap_k
 
-let update_source st x f = { st with sources = NMap.add x (f (source_info st x)) st.sources }
+let update_source st x f =
+  { st with sources = NMap.add x (f (source_info st x)) st.sources }
 
-let known_count st =
-  NMap.fold (fun _ ps acc -> acc + IMap.cardinal ps.known) st.sources 0
-
+let known_count st = st.total_known
 let complete_wrt st x = (source_info st x).complete
 
 let all_complete ~k states =
-  Array.for_all (fun st -> known_count st >= k) states
+  Array.for_all (fun st -> st.total_known >= k) states
 
 let requests_sent st = st.requests_sent
 let announcements_sent st = st.announcements_sent
 
 let refresh_edges st ~round ~neighbors =
-  let edges =
-    Array.fold_left
-      (fun acc w ->
-        match NMap.find_opt w st.edges with
-        | Some info -> NMap.add w info acc
-        | None -> NMap.add w { inserted_at = round; contributed = false } acc)
-      NMap.empty neighbors
-  in
-  { st with edges }
-
-type category = New | Idle | Contributive
-
-let categorize ~round info =
-  if info.inserted_at >= round - 1 then New
-  else if info.contributed then Contributive
-  else Idle
+  { st with edges = Edge_history.refresh st.edges ~round ~neighbors }
 
 (* Task 1: announce, per neighbor, the minimum own-complete source the
    neighbor has not heard about from us. *)
@@ -82,7 +73,7 @@ let announce_task st ~neighbors =
       let candidate =
         NMap.fold
           (fun x ps best ->
-            if ps.complete && not (NSet.mem w ps.informed) then
+            if ps.complete && not (Bitset.mem ps.informed w) then
               match best with Some b when b <= x -> best | _ -> Some x
             else best)
           !st.sources None
@@ -93,7 +84,7 @@ let announce_task st ~neighbors =
           let count = Option.get (source_info !st x).count in
           st :=
             update_source !st x (fun ps ->
-                { ps with informed = NSet.add w ps.informed });
+                { ps with informed = Bitset.add w ps.informed });
           st := { !st with announcements_sent = !st.announcements_sent + 1 };
           msgs := (w, Payload.Completeness { source = x; count }) :: !msgs)
     neighbors;
@@ -102,13 +93,11 @@ let announce_task st ~neighbors =
 (* Task 2: serve last round's requests, if the asker is still a
    neighbor and we hold the token. *)
 let serve_task st ~neighbors =
-  let neighbor_set =
-    Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
-  in
+  let neighbor_set = Bitset.of_array st.n neighbors in
   let msgs =
     List.filter_map
       (fun (u, x, idx) ->
-        if NSet.mem u neighbor_set then
+        if Bitset.mem neighbor_set u then
           match IMap.find_opt idx (source_info st x).known with
           | Some tok -> Some (u, Payload.Token_msg tok)
           | None -> None
@@ -124,7 +113,7 @@ let request_task st ~round ~neighbors =
   let candidates =
     NMap.fold
       (fun x ps acc ->
-        if (not ps.complete) && not (NSet.is_empty ps.announcers) then
+        if (not ps.complete) && not (Bitset.is_empty ps.announcers) then
           x :: acc
         else acc)
       st.sources []
@@ -140,38 +129,44 @@ let request_task st ~round ~neighbors =
   | Some x ->
       let ps = source_info st x in
       let k_x = Option.get ps.count in
-      let neighbor_set =
-        Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
-      in
+      let neighbor_set = Bitset.of_array st.n neighbors in
       let arriving =
         List.filter_map
           (fun (w, x', idx) ->
-            if x' = x && NSet.mem w neighbor_set then Some idx else None)
+            if x' = x && Bitset.mem neighbor_set w then Some idx else None)
           st.pending
-      in
-      let missing =
-        List.init k_x (fun idx -> idx)
-        |> List.filter (fun idx ->
-               (not (IMap.mem idx ps.known)) && not (List.mem idx arriving))
       in
       let eligible =
         Array.to_list neighbors
-        |> List.filter (fun w -> NSet.mem w ps.announcers)
-        |> List.map (fun w -> (w, categorize ~round (NMap.find w st.edges)))
+        |> List.filter (fun w -> Bitset.mem ps.announcers w)
+        |> List.map (fun w -> (w, Edge_history.categorize st.edges ~round w))
       in
       let in_category c =
-        List.filter_map (fun (w, cat) -> if cat = c then Some w else None)
+        List.filter_map
+          (fun (w, cat) -> if cat = c then Some w else None)
           eligible
       in
       let ordered =
-        in_category New @ in_category Idle @ in_category Contributive
+        in_category Edge_history.New
+        @ in_category Edge_history.Idle
+        @ in_category Edge_history.Contributive
       in
-      let rec assign acc = function
-        | [], _ | _, [] -> List.rev acc
-        | idx :: missing, w :: edges ->
-            assign ((w, x, idx) :: acc) (missing, edges)
+      (* Lazy monotone scan over the missing idxs of source x — same
+         pairing as the eager [List.init k_x |> filter] + zip. *)
+      let rec next_missing idx =
+        let idx = Bitset.next_clear ps.kmask idx in
+        if idx >= k_x then None
+        else if List.mem idx arriving then next_missing (idx + 1)
+        else Some idx
       in
-      let requests = assign [] (missing, ordered) in
+      let rec assign acc idx = function
+        | [] -> List.rev acc
+        | w :: ws -> (
+            match next_missing idx with
+            | None -> List.rev acc
+            | Some idx -> assign ((w, x, idx) :: acc) (idx + 1) ws)
+      in
+      let requests = assign [] 0 ordered in
       let msgs =
         List.map (fun (w, _, idx) -> (w, Payload.Request { source = x; idx }))
           requests
@@ -186,19 +181,22 @@ let request_task st ~round ~neighbors =
 let learn st (tok : Token.t) ~from =
   let x = tok.src in
   let ps = source_info st x in
-  if IMap.mem tok.idx ps.known then st
+  if Bitset.mem ps.kmask tok.idx then st
   else begin
     let known = IMap.add tok.idx tok ps.known in
+    let kmask = Bitset.add tok.idx ps.kmask in
+    let kcount = ps.kcount + 1 in
     let complete =
-      match ps.count with Some c -> IMap.cardinal known = c | None -> false
+      match ps.count with Some c -> kcount = c | None -> false
     in
-    let st = update_source st x (fun ps -> { ps with known; complete }) in
-    let edges =
-      match NMap.find_opt from st.edges with
-      | Some info -> NMap.add from { info with contributed = true } st.edges
-      | None -> st.edges
+    let st =
+      update_source st x (fun ps -> { ps with known; kmask; kcount; complete })
     in
-    { st with edges }
+    {
+      st with
+      total_known = st.total_known + 1;
+      edges = Edge_history.mark_contributed st.edges from;
+    }
   end
 
 module P = struct
@@ -226,9 +224,8 @@ module P = struct
                 {
                   ps with
                   count = Some count;
-                  announcers = NSet.add u ps.announcers;
-                  complete =
-                    ps.complete || IMap.cardinal ps.known = count;
+                  announcers = Bitset.add u ps.announcers;
+                  complete = ps.complete || ps.kcount = count;
                 })
         | Payload.Token_msg tok -> learn st tok ~from:u
         | Payload.Request { source = x; idx } ->
@@ -238,7 +235,7 @@ module P = struct
         | Payload.Walk_msg _ | Payload.Center_announce -> st)
       st inbox
 
-  let progress st = known_count st
+  let progress st = st.total_known
 end
 
 let protocol =
@@ -248,14 +245,19 @@ let protocol =
 
 let init ?(source_order = Min_source) ?(seed = 0) ~instance () =
   let master = Dynet.Rng.make ~seed in
-  Array.init (Instance.n instance) (fun v ->
+  let n = Instance.n instance in
+  let cap_k = Instance.k instance in
+  Array.init n (fun v ->
       let base =
         {
           me = v;
+          n;
+          cap_k;
           source_order;
           rng = Dynet.Rng.split master;
           sources = NMap.empty;
-          edges = NMap.empty;
+          total_known = 0;
+          edges = Edge_history.create ~n;
           pending = [];
           to_serve = [];
           requests_sent = 0;
@@ -270,16 +272,22 @@ let init ?(source_order = Min_source) ?(seed = 0) ~instance () =
               (fun acc (tok : Token.t) -> IMap.add tok.idx tok acc)
               IMap.empty tokens
           in
+          let kmask = Bitset.create cap_k in
+          List.iter (fun (tok : Token.t) -> Bitset.set kmask tok.idx) tokens;
+          let kcount = List.length tokens in
           {
             base with
+            total_known = kcount;
             sources =
               NMap.add v
                 {
-                  count = Some (List.length tokens);
+                  count = Some kcount;
                   known;
+                  kmask;
+                  kcount;
                   complete = true;
-                  informed = NSet.empty;
-                  announcers = NSet.empty;
+                  informed = Bitset.create n;
+                  announcers = Bitset.create n;
                 }
                 NMap.empty;
           })

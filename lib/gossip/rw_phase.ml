@@ -1,12 +1,13 @@
-module NSet = Dynet.Node_id.Set
+module Bitset = Dynet.Bitset
 
 type state = {
   me : Dynet.Node_id.t;
   n : int;
   is_center : bool;
   holding : Token.t list;
-  known_centers : NSet.t;  (* persists across edge churn *)
-  announced : NSet.t;  (* if center: whom we already told *)
+  nheld : int;  (* cached List.length holding *)
+  known_centers : Bitset.t;  (* persists across edge churn *)
+  announced : Bitset.t;  (* if center: whom we already told *)
   gamma : float;
   rng : Dynet.Rng.t;
 }
@@ -15,7 +16,7 @@ let is_center st = st.is_center
 let holding st = st.holding
 
 let settled states =
-  Array.for_all (fun st -> st.is_center || st.holding = []) states
+  Array.for_all (fun st -> st.is_center || st.nheld = 0) states
 
 let collected states =
   Array.to_list states
@@ -29,21 +30,21 @@ let collected states =
 
 let center_send st ~neighbors =
   let msgs = ref [] in
-  let announced = ref st.announced in
+  let announced = Bitset.copy st.announced in
   Array.iter
     (fun w ->
-      if not (NSet.mem w !announced) then begin
-        announced := NSet.add w !announced;
+      if not (Bitset.mem announced w) then begin
+        Bitset.set announced w;
         msgs := (w, Payload.Center_announce) :: !msgs
       end)
     neighbors;
-  ({ st with announced = !announced }, List.rev !msgs)
+  ({ st with announced }, List.rev !msgs)
 
 let high_degree_send st ~neighbors =
   (* Hand one held token to each neighboring center. *)
   let center_neighbors =
     Array.to_list neighbors
-    |> List.filter (fun w -> NSet.mem w st.known_centers)
+    |> List.filter (fun w -> Bitset.mem st.known_centers w)
   in
   let rec pair acc holding centers =
     match (holding, centers) with
@@ -52,31 +53,40 @@ let high_degree_send st ~neighbors =
         pair ((c, Payload.Walk_msg tok) :: acc) holding centers
   in
   let msgs, left = pair [] st.holding center_neighbors in
-  ({ st with holding = left }, msgs)
+  ({ st with holding = left; nheld = st.nheld - List.length msgs }, msgs)
 
 let low_degree_send st ~neighbors =
   let d = Array.length neighbors in
   let move_prob = float_of_int d /. float_of_int st.n in
-  let used = ref NSet.empty in
+  (* Transient per-call scratch: which neighbors already carry a token
+     this round (one token per edge per round). *)
+  let used = Bitset.create st.n in
   let msgs = ref [] in
+  let nmsgs = ref 0 in
   let left = ref [] in
+  let nleft = ref 0 in
   List.iter
     (fun tok ->
       if d > 0 && Dynet.Rng.bernoulli st.rng move_prob then begin
         let w = neighbors.(Dynet.Rng.int st.rng d) in
-        if NSet.mem w !used then
+        if Bitset.mem used w then begin
           (* Congestion: one token per edge per round; stay passive. *)
-          left := tok :: !left
+          left := tok :: !left;
+          incr nleft
+        end
         else begin
-          used := NSet.add w !used;
-          msgs := (w, Payload.Walk_msg tok) :: !msgs
+          Bitset.set used w;
+          msgs := (w, Payload.Walk_msg tok) :: !msgs;
+          incr nmsgs
         end
       end
-      else
+      else begin
         (* Virtual self-loop: the walk steps but no message is sent. *)
-        left := tok :: !left)
+        left := tok :: !left;
+        incr nleft
+      end)
     st.holding;
-  ({ st with holding = List.rev !left }, List.rev !msgs)
+  ({ st with holding = List.rev !left; nheld = !nleft }, List.rev !msgs)
 
 module P = struct
   type nonrec state = state
@@ -86,7 +96,7 @@ module P = struct
 
   let send st ~round:_ ~neighbors =
     if st.is_center then center_send st ~neighbors
-    else if st.holding = [] then (st, [])
+    else if st.nheld = 0 then (st, [])
     else if float_of_int (Array.length neighbors) >= st.gamma then
       high_degree_send st ~neighbors
     else low_degree_send st ~neighbors
@@ -95,15 +105,16 @@ module P = struct
     List.fold_left
       (fun st (u, msg) ->
         match msg with
-        | Payload.Walk_msg tok -> { st with holding = tok :: st.holding }
+        | Payload.Walk_msg tok ->
+            { st with holding = tok :: st.holding; nheld = st.nheld + 1 }
         | Payload.Center_announce ->
-            { st with known_centers = NSet.add u st.known_centers }
+            { st with known_centers = Bitset.add u st.known_centers }
         | Payload.Token_msg _ | Payload.Completeness _ | Payload.Request _ ->
             st)
       st inbox
 
   (* Progress for this phase = tokens already parked at centers. *)
-  let progress st = if st.is_center then List.length st.holding else 0
+  let progress st = if st.is_center then st.nheld else 0
 end
 
 let protocol =
@@ -119,13 +130,15 @@ let init ~instance ~centers ~gamma ~seed =
     invalid_arg "Rw_phase.init: at least one center required";
   let master = Dynet.Rng.make ~seed in
   Array.init n (fun v ->
+      let holding = Instance.tokens_of instance v in
       {
         me = v;
         n;
         is_center = centers.(v);
-        holding = Instance.tokens_of instance v;
-        known_centers = NSet.empty;
-        announced = NSet.empty;
+        holding;
+        nheld = List.length holding;
+        known_centers = Bitset.create n;
+        announced = Bitset.create n;
         gamma;
         rng = Dynet.Rng.split master;
       })

@@ -1,12 +1,5 @@
 module IMap = Map.Make (Int)
-module NSet = Dynet.Node_id.Set
-module NMap = Dynet.Node_id.Map
-
-(* Per-adjacent-edge history, kept only for currently present edges.
-   [inserted_at] is the round the current presence run started (as
-   observed locally); [contributed] records whether a new token crossed
-   the edge since that insertion. *)
-type edge_info = { inserted_at : int; contributed : bool }
+module Bitset = Dynet.Bitset
 
 type priority = Paper_priority | Reversed_priority | No_priority
 type config = { priority : priority; dedup_pending : bool }
@@ -18,53 +11,37 @@ type state = {
   config : config;
   source : Dynet.Node_id.t;
   k : int option;  (* learned from the first completeness announcement *)
-  known : Token.t IMap.t;  (* by idx *)
+  known : Token.t IMap.t;  (* by idx — kept for serving requests *)
+  kmask : Bitset.t;  (* packed "have idx" bits, capacity = instance k *)
+  kcount : int;  (* cached IMap.cardinal known *)
   complete : bool;
-  informed : NSet.t;  (* R_v: whom I told about my completeness *)
-  known_complete : NSet.t;  (* S_v: who told me about theirs *)
-  edges : edge_info NMap.t;
+  informed : Bitset.t;  (* R_v: whom I told about my completeness *)
+  known_complete : Bitset.t;  (* S_v: who told me about theirs *)
+  edges : Edge_history.t;
   pending : (Dynet.Node_id.t * int) list;  (* requests sent last round *)
   to_serve : (Dynet.Node_id.t * int) list;  (* requests received last round *)
   requests_sent : int;
 }
 
 let is_complete st = st.complete
-let known_count st = IMap.cardinal st.known
+let known_count st = st.kcount
 
 let all_complete ~k states =
-  Array.for_all (fun st -> known_count st >= k) states
+  Array.for_all (fun st -> st.kcount >= k) states
 
 let requests_sent st = st.requests_sent
 
-(* Refresh the edge map against this round's neighbor set: departed
-   edges are forgotten (a re-insertion starts a fresh run), arrivals
-   are stamped with the current round. *)
 let refresh_edges st ~round ~neighbors =
-  let edges =
-    Array.fold_left
-      (fun acc w ->
-        match NMap.find_opt w st.edges with
-        | Some info -> NMap.add w info acc
-        | None -> NMap.add w { inserted_at = round; contributed = false } acc)
-      NMap.empty neighbors
-  in
-  { st with edges }
-
-type category = New | Idle | Contributive
-
-let categorize ~round info =
-  if info.inserted_at >= round - 1 then New
-  else if info.contributed then Contributive
-  else Idle
+  { st with edges = Edge_history.refresh st.edges ~round ~neighbors }
 
 let complete_send st ~neighbors =
   let msgs = ref [] in
-  let informed = ref st.informed in
+  let informed = Bitset.copy st.informed in
   let k = Option.get st.k in
   Array.iter
     (fun w ->
-      if not (NSet.mem w !informed) then begin
-        informed := NSet.add w !informed;
+      if not (Bitset.mem informed w) then begin
+        Bitset.set informed w;
         msgs := (w, Payload.Completeness { source = st.source; count = k }) :: !msgs
       end
       else
@@ -74,15 +51,13 @@ let complete_send st ~neighbors =
             msgs := (w, Payload.Token_msg tok) :: !msgs
         | None -> ())
     neighbors;
-  ({ st with informed = !informed; to_serve = []; pending = [] }, List.rev !msgs)
+  ({ st with informed; to_serve = []; pending = [] }, List.rev !msgs)
 
 let incomplete_send st ~round ~neighbors =
   match st.k with
   | None -> ({ st with pending = []; to_serve = [] }, [])
   | Some k ->
-      let neighbor_set =
-        Array.fold_left (fun acc w -> NSet.add w acc) NSet.empty neighbors
-      in
+      let neighbor_set = Bitset.of_array (Bitset.capacity st.informed) neighbors in
       (* Tokens requested last round whose edge survived will arrive at
          the end of this round; do not re-request them (Algorithm 1's
          redundancy avoidance — ablatable). *)
@@ -91,38 +66,51 @@ let incomplete_send st ~round ~neighbors =
         else
           List.filter_map
             (fun (w, idx) ->
-              if NSet.mem w neighbor_set then Some idx else None)
+              if Bitset.mem neighbor_set w then Some idx else None)
             st.pending
-      in
-      let missing =
-        List.init k (fun idx -> idx)
-        |> List.filter (fun idx ->
-               (not (IMap.mem idx st.known)) && not (List.mem idx arriving))
       in
       (* Eligible edges lead to known-complete neighbors; the paper's
          priority order is new > idle > contributive. *)
       let eligible =
         Array.to_list neighbors
-        |> List.filter (fun w -> NSet.mem w st.known_complete)
-        |> List.map (fun w -> (w, categorize ~round (NMap.find w st.edges)))
+        |> List.filter (fun w -> Bitset.mem st.known_complete w)
+        |> List.map (fun w -> (w, Edge_history.categorize st.edges ~round w))
       in
       let in_category c =
-        List.filter_map (fun (w, cat) -> if cat = c then Some w else None)
+        List.filter_map
+          (fun (w, cat) -> if cat = c then Some w else None)
           eligible
       in
       let ordered =
         match st.config.priority with
         | Paper_priority ->
-            in_category New @ in_category Idle @ in_category Contributive
+            in_category Edge_history.New
+            @ in_category Edge_history.Idle
+            @ in_category Edge_history.Contributive
         | Reversed_priority ->
-            in_category Contributive @ in_category Idle @ in_category New
+            in_category Edge_history.Contributive
+            @ in_category Edge_history.Idle
+            @ in_category Edge_history.New
         | No_priority -> List.map fst eligible
       in
-      let rec assign acc = function
-        | [], _ | _, [] -> List.rev acc
-        | idx :: missing, w :: edges -> assign ((w, idx) :: acc) (missing, edges)
+      (* Walk the missing idxs lazily off the knowledge bitset instead
+         of materialising [List.init k |> filter]: the scan advances
+         monotonically, so pairing with the ordered edges reproduces
+         the eager zip exactly. *)
+      let rec next_missing idx =
+        let idx = Bitset.next_clear st.kmask idx in
+        if idx >= k then None
+        else if List.mem idx arriving then next_missing (idx + 1)
+        else Some idx
       in
-      let requests = assign [] (missing, ordered) in
+      let rec assign acc idx = function
+        | [] -> List.rev acc
+        | w :: ws -> (
+            match next_missing idx with
+            | None -> List.rev acc
+            | Some idx -> assign ((w, idx) :: acc) (idx + 1) ws)
+      in
+      let requests = assign [] 0 ordered in
       let msgs =
         List.map
           (fun (w, idx) -> (w, Payload.Request { source = st.source; idx }))
@@ -137,19 +125,15 @@ let incomplete_send st ~round ~neighbors =
         msgs )
 
 let learn st (tok : Token.t) ~from ~k_hint =
-  if IMap.mem tok.idx st.known then st
+  if Bitset.mem st.kmask tok.idx then st
   else begin
     let known = IMap.add tok.idx tok st.known in
-    let edges =
-      match NMap.find_opt from st.edges with
-      | Some info -> NMap.add from { info with contributed = true } st.edges
-      | None -> st.edges
-    in
+    let kmask = Bitset.add tok.idx st.kmask in
+    let kcount = st.kcount + 1 in
+    let edges = Edge_history.mark_contributed st.edges from in
     let k = match st.k with Some _ as k -> k | None -> k_hint in
-    let complete =
-      match k with Some k -> IMap.cardinal known = k | None -> false
-    in
-    { st with known; edges; k; complete }
+    let complete = match k with Some k -> kcount = k | None -> false in
+    { st with known; kmask; kcount; edges; k; complete }
   end
 
 module P = struct
@@ -169,7 +153,7 @@ module P = struct
         match msg with
         | Payload.Completeness { source = _; count } ->
             let st =
-              { st with known_complete = NSet.add u st.known_complete }
+              { st with known_complete = Bitset.add u st.known_complete }
             in
             (match st.k with
             | Some k ->
@@ -183,7 +167,7 @@ module P = struct
         | Payload.Walk_msg _ | Payload.Center_announce -> st)
       st inbox
 
-  let progress st = known_count st
+  let progress st = st.kcount
 end
 
 let protocol =
@@ -196,8 +180,9 @@ let init ?(config = default_config) ~instance () =
   | [ _ ] -> ()
   | _ -> invalid_arg "Single_source.init: instance must have exactly one source");
   let source = List.hd (Instance.sources instance) in
+  let n = Instance.n instance in
   let k = Instance.k instance in
-  Array.init (Instance.n instance) (fun v ->
+  Array.init n (fun v ->
       let base =
         {
           me = v;
@@ -205,21 +190,32 @@ let init ?(config = default_config) ~instance () =
           source;
           k = None;
           known = IMap.empty;
+          kmask = Bitset.create k;
+          kcount = 0;
           complete = false;
-          informed = NSet.empty;
-          known_complete = NSet.empty;
-          edges = NMap.empty;
+          informed = Bitset.create n;
+          known_complete = Bitset.create n;
+          edges = Edge_history.create ~n;
           pending = [];
           to_serve = [];
           requests_sent = 0;
         }
       in
       if v = source then
+        let tokens = Instance.tokens_of instance v in
         let known =
           List.fold_left
             (fun acc (tok : Token.t) -> IMap.add tok.idx tok acc)
-            IMap.empty
-            (Instance.tokens_of instance v)
+            IMap.empty tokens
         in
-        { base with k = Some k; known; complete = true }
+        let kmask = Bitset.create k in
+        List.iter (fun (tok : Token.t) -> Bitset.set kmask tok.idx) tokens;
+        {
+          base with
+          k = Some k;
+          known;
+          kmask;
+          kcount = List.length tokens;
+          complete = true;
+        }
       else base)

@@ -26,5 +26,21 @@ module Set = Set.Make (Ordered)
 module Map = Map.Make (Ordered)
 
 let uids s =
-  Set.fold (fun t acc -> t.uid :: acc) s []
-  |> List.sort_uniq Int.compare
+  (* Preallocated array + in-place sort/dedup instead of a consed list
+     fed to sort_uniq. *)
+  match Set.cardinal s with
+  | 0 -> []
+  | card ->
+      let a = Array.make card 0 in
+      let i = ref 0 in
+      Set.iter
+        (fun t ->
+          a.(!i) <- t.uid;
+          incr i)
+        s;
+      Array.sort Int.compare a;
+      let out = ref [] in
+      for j = card - 1 downto 0 do
+        if j = card - 1 || a.(j) <> a.(j + 1) then out := a.(j) :: !out
+      done;
+      !out

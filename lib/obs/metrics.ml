@@ -9,11 +9,27 @@ type summary = {
   p99 : float;
 }
 
+(* Growable sample buffer: amortised O(1) appends into a preallocated
+   float array instead of consing a reversed list per observation. *)
+type vec = { mutable data : float array; mutable len : int }
+
+let vec_create () = { data = Array.make 16 0.; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let data = Array.make (2 * Array.length v.data) 0. in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_to_list v = List.init v.len (fun i -> v.data.(i))
+
 type t = {
   counters : (string, int) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
-  histograms : (string, float list ref) Hashtbl.t;
-      (* samples kept reversed; [samples] restores order *)
+  histograms : (string, vec) Hashtbl.t;
 }
 
 let create () =
@@ -34,12 +50,15 @@ let gauge t name = Hashtbl.find_opt t.gauges name
 
 let observe t name v =
   match Hashtbl.find_opt t.histograms name with
-  | Some cell -> cell := v :: !cell
-  | None -> Hashtbl.replace t.histograms name (ref [ v ])
+  | Some vec -> vec_push vec v
+  | None ->
+      let vec = vec_create () in
+      vec_push vec v;
+      Hashtbl.replace t.histograms name vec
 
 let samples t name =
   match Hashtbl.find_opt t.histograms name with
-  | Some cell -> List.rev !cell
+  | Some vec -> vec_to_list vec
   | None -> []
 
 let summarize = function
@@ -58,6 +77,16 @@ let summarize = function
         }
 
 let summary t name = summarize (samples t name)
+
+let merge ~into src =
+  Hashtbl.iter (fun name by -> if by > 0 then incr into ~by name) src.counters;
+  Hashtbl.iter (fun name v -> set_gauge into name v) src.gauges;
+  Hashtbl.iter
+    (fun name vec ->
+      for i = 0 to vec.len - 1 do
+        observe into name vec.data.(i)
+      done)
+    src.histograms
 
 let names t =
   let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
@@ -80,8 +109,8 @@ let summary_to_json s =
 let to_json t =
   let histogram_fields =
     Hashtbl.fold
-      (fun k cell acc ->
-        match summarize (List.rev !cell) with
+      (fun k vec acc ->
+        match summarize (vec_to_list vec) with
         | None -> acc
         | Some s -> (k, summary_to_json s) :: acc)
       t.histograms []

@@ -50,6 +50,14 @@ val summarize : float list -> summary option
 (** The summary of a raw sample list (shared with {!summary}); [None]
     on the empty list. *)
 
+val merge : into:t -> t -> unit
+(** Absorb a second registry: counters add, gauges last-write-wins
+    (the source's value), histogram samples append in the source's
+    observation order.  Used by the parallel sweep runner to fold
+    per-task registries into the caller's, in deterministic task
+    order, after the domains have joined — the registry itself stays
+    single-domain. *)
+
 val names : t -> string list
 (** All registered metric names (counters, gauges, histograms),
     sorted, deduplicated. *)

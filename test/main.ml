@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dynspread"
     [
       ("dynet", Test_dynet.suite);
+      ("fastpath", Test_fastpath.suite);
       ("engine", Test_engine.suite);
       ("adversary", Test_adversary.suite);
       ("gossip", Test_gossip.suite);
