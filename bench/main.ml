@@ -19,12 +19,16 @@ open Toolkit
 
 let seed = 42
 
+let print_table t =
+  print_string (Analysis.Table.render t);
+  print_newline ()
+
 (* {2 Part 1: the paper's tables and figures} *)
 
 let run_tables ~jobs ~metrics () =
   print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
   print_newline ();
-  List.iter Analysis.Table.print
+  List.iter print_table
     (Analysis.Experiments.all ~jobs ~metrics ~seed ())
 
 (* {2 Part 2: Bechamel micro-benchmarks, one per experiment} *)
@@ -262,7 +266,7 @@ let run_bechamel () =
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  Analysis.Table.print
+  print_table
     (Analysis.Table.make
        ~title:
          "simulator throughput (one run of each experiment's core workload)"
@@ -332,14 +336,16 @@ let write_results ~out ~bench_rows ~metrics =
   Printf.printf "wrote %s\n" out
 
 let usage () =
-  prerr_endline
-    "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] [--out FILE]";
-  prerr_endline "  --tables-only    only the paper tables (Part 1)";
-  prerr_endline "  --bechamel-only  only the micro-benchmarks (Part 2)";
-  prerr_endline
-    "  --jobs N         domains for the experiment sweeps (default: \
-     recommended domain count); tables are bit-identical for every N";
-  prerr_endline "  --out FILE       JSON summary path (default BENCH_results.json)"
+  Obs.Console.lines
+    [
+      "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] [--out \
+       FILE]";
+      "  --tables-only    only the paper tables (Part 1)";
+      "  --bechamel-only  only the micro-benchmarks (Part 2)";
+      "  --jobs N         domains for the experiment sweeps (default: \
+       recommended domain count); tables are bit-identical for every N";
+      "  --out FILE       JSON summary path (default BENCH_results.json)";
+    ]
 
 let () =
   let tables_only = ref false
@@ -360,28 +366,28 @@ let () =
             jobs := n;
             parse rest
         | Some _ | None ->
-            Printf.eprintf "error: --jobs needs a positive integer, got %S\n" v;
+            Obs.Console.error (Printf.sprintf "error: --jobs needs a positive integer, got %S" v);
             usage ();
             exit 2)
     | [ "--jobs" ] ->
-        prerr_endline "error: --jobs needs a count argument";
+        Obs.Console.error "error: --jobs needs a count argument";
         usage ();
         exit 2
     | "--out" :: file :: rest ->
         out := file;
         parse rest
     | [ "--out" ] ->
-        prerr_endline "error: --out needs a file argument";
+        Obs.Console.error "error: --out needs a file argument";
         usage ();
         exit 2
     | arg :: _ ->
-        Printf.eprintf "error: unknown argument %S\n" arg;
+        Obs.Console.error (Printf.sprintf "error: unknown argument %S" arg);
         usage ();
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !tables_only && !bechamel_only then begin
-    prerr_endline "error: --tables-only and --bechamel-only are exclusive";
+    Obs.Console.error "error: --tables-only and --bechamel-only are exclusive";
     usage ();
     exit 2
   end;

@@ -66,11 +66,24 @@ let json_arg =
           "Print a machine-readable JSON run report to stdout instead \
            of the human-readable summary.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Enable the runtime invariant layer (ledger conservation, \
+           cached bitset counts, per-round connectivity). Dev-profile \
+           builds only: release builds compile the checks out and \
+           ignore this flag. An invariant failure aborts with exit \
+           code 3.")
+
 let print_table ~csv t =
   if csv then (
     print_endline (Analysis.Table.to_csv t);
     print_newline ())
-  else Analysis.Table.print t
+  else (
+    print_string (Analysis.Table.render t);
+    print_newline ())
 
 (* {2 Fault-injection flags}
 
@@ -134,17 +147,18 @@ let reliable_arg =
    exit 2 — cmdliner's own failures keep their usual exit code, this
    path is for values that parse but make no sense. *)
 let flags_usage () =
-  prerr_endline
-    "usage: --loss/--dup-rate/--crash-rate/--restart-rate take a \
-     probability in [0, 1];";
-  prerr_endline
-    "       --max-delay takes a round count >= 0; --seed/--fault-seed \
-     take a seed >= 0"
+  Obs.Console.lines
+    [
+      "usage: --loss/--dup-rate/--crash-rate/--restart-rate take a \
+       probability in [0, 1];";
+      "       --max-delay takes a round count >= 0; --seed/--fault-seed \
+       take a seed >= 0";
+    ]
 
 let bad_flag fmt =
   Printf.ksprintf
     (fun msg ->
-      prerr_endline ("error: " ^ msg);
+      Obs.Console.error ("error: " ^ msg);
       flags_usage ();
       exit 2)
     fmt
@@ -347,7 +361,8 @@ let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
 let run_cmd =
   let doc = "Run one protocol in one environment and print the cost ledger." in
   let run protocol env n k s sigma seed loss dup crash restart max_delay
-      fault_seed reliable timeline trace json =
+      fault_seed reliable timeline trace json check =
+    Check.set_enabled check;
     let faults =
       fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed
     in
@@ -472,7 +487,7 @@ let run_cmd =
         (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
         $ sigma_arg $ seed_arg $ loss_arg $ dup_arg $ crash_arg $ restart_arg
         $ max_delay_arg $ fault_seed_arg $ reliable_arg $ timeline_arg
-        $ trace_arg $ json_arg))
+        $ trace_arg $ json_arg $ check_arg))
 
 (* {2 experiments} *)
 
@@ -504,7 +519,8 @@ let experiments_cmd =
           ~doc:
             "Experiment ids (e0 e1 ... e16); default: all.")
   in
-  let run ids csv seed jobs timings =
+  let run ids csv seed jobs timings check =
+    Check.set_enabled check;
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
     let selected = if ids = [] then List.map snd experiment_names else ids in
     List.iter
@@ -545,7 +561,9 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run $ which $ csv_arg $ seed_arg $ jobs_arg $ timings_arg)
+    Term.(
+      const run $ which $ csv_arg $ seed_arg $ jobs_arg $ timings_arg
+      $ check_arg)
 
 (* {2 focused shortcuts} *)
 
@@ -744,8 +762,11 @@ let () =
   match Cmd.eval main_cmd with
   | code -> exit code
   | exception Engine.Engine_error.Protocol_violation msg ->
-      prerr_endline ("dynspread: protocol violation: " ^ msg);
+      Obs.Console.error ("dynspread: protocol violation: " ^ msg);
       exit 3
   | exception Engine.Engine_error.Adversary_violation msg ->
-      prerr_endline ("dynspread: adversary violation: " ^ msg);
+      Obs.Console.error ("dynspread: adversary violation: " ^ msg);
+      exit 3
+  | exception Check.Check_failed msg ->
+      Obs.Console.error ("dynspread: invariant check failed: " ^ msg);
       exit 3

@@ -77,10 +77,6 @@ let to_csv t =
   |> List.map (fun row -> String.concat "," (List.map csv_escape row))
   |> String.concat "\n"
 
-let print t =
-  print_string (render t);
-  print_newline ()
-
 let fint i =
   if abs i < 100_000 then string_of_int i
   else Printf.sprintf "%.2e" (float_of_int i)

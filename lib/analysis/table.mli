@@ -24,9 +24,6 @@ val to_csv : t -> string
 (** RFC-4180-ish CSV (quotes fields containing commas/quotes), header
     row first; title and notes are not included. *)
 
-val print : t -> unit
-(** [render] to stdout followed by a blank line. *)
-
 (* {2 Cell formatting helpers} *)
 
 val fint : int -> string

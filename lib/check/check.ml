@@ -1,0 +1,36 @@
+(* Runtime invariants, the dynamic counterpart of dynlint (see
+   DESIGN.md "Static analysis and runtime checks").
+
+   Checks are doubly gated: [Check_mode.release] is generated from the
+   dune build profile, so release builds can never evaluate a
+   predicate; in dev builds the checks still cost one boolean until
+   [set_enabled true] (the CLI's [--check] flag, or a test) turns them
+   on.  The flag is an [Atomic.t] because runs execute inside Sweep
+   workers on separate domains. *)
+
+exception Check_failed of string
+
+let static_enabled = not Check_mode.release
+let enabled_flag = Atomic.make false
+let evals = Atomic.make 0
+
+let set_enabled b = Atomic.set enabled_flag (b && static_enabled)
+let enabled () = static_enabled && Atomic.get enabled_flag
+let eval_count () = Atomic.get evals
+let reset_eval_count () = Atomic.set evals 0
+
+let require ~what pred =
+  if enabled () then begin
+    Atomic.incr evals;
+    if not (pred ()) then raise (Check_failed what)
+  end
+
+(* {2 Domain-specific invariants} *)
+
+let bitset_cached ~what ~cached bs =
+  require ~what (fun () -> Int.equal (Dynet.Bitset.cardinal bs) cached)
+
+let connected ~what g = require ~what (fun () -> Dynet.Graph.is_connected g)
+
+let conserved ~created ~consumed ~dropped ~in_flight =
+  Int.equal created (consumed + dropped + in_flight)

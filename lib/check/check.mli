@@ -1,0 +1,59 @@
+(** Runtime invariants — the dynamic counterpart of dynlint.
+
+    The simulation engines and protocols carry redundant state for
+    speed (cached popcounts, a message ledger next to the physical
+    delivery path).  This module asserts, per round, that the
+    redundant copies agree:
+
+    - {e ledger conservation}: the ledger's message total equals the
+      sends the engine physically performed, and every message copy is
+      accounted for as consumed, fault-dropped, or still in flight;
+    - {e cached bitset counts}: a protocol's cached token count equals
+      the popcount of its token bitset;
+    - {e adversary connectivity}: the per-round graph is connected
+      (the paper's standing assumption, Section 1.2).
+
+    Checks are off by default and enabled with {!set_enabled} (the
+    CLI's [--check] flag).  In [--profile release] builds the layer is
+    compiled out: {!static_enabled} is [false], {!set_enabled} is
+    ignored, and {!require} never evaluates its predicate. *)
+
+exception Check_failed of string
+(** Raised by {!require} when an invariant does not hold; the payload
+    names the invariant. *)
+
+val static_enabled : bool
+(** [false] in [--profile release] builds, [true] otherwise. *)
+
+val set_enabled : bool -> unit
+(** Turn the layer on or off process-wide (no-op in release builds).
+    Safe to call from any domain. *)
+
+val enabled : unit -> bool
+
+val require : what:string -> (unit -> bool) -> unit
+(** [require ~what pred] evaluates [pred] only when the layer is
+    enabled, and raises {!Check_failed} [what] if it returns [false].
+    When disabled the predicate is never evaluated, so it may be
+    arbitrarily expensive. *)
+
+val eval_count : unit -> int
+(** Predicates evaluated since start (or {!reset_eval_count}) — lets
+    tests assert the disabled layer really evaluates nothing. *)
+
+val reset_eval_count : unit -> unit
+
+(** {2 Domain-specific invariants} *)
+
+val bitset_cached : what:string -> cached:int -> Dynet.Bitset.t -> unit
+(** The cached count agrees with the bitset's popcount. *)
+
+val connected : what:string -> Dynet.Graph.t -> unit
+(** The graph is connected. *)
+
+val conserved :
+  created:int -> consumed:int -> dropped:int -> in_flight:int -> bool
+(** Message-copy conservation: every copy the delivery layer created
+    was consumed at a receive, destroyed by a fault, or is still
+    delayed in flight.  Pure arithmetic so engines can embed it in a
+    {!require} thunk. *)

@@ -1,0 +1,4 @@
+(** Placeholder component kept so the build graph has a stable root
+    library; real shared primitives live in [Dynet]. *)
+
+val placeholder : unit -> unit

@@ -1,3 +1,5 @@
+open Ops
+
 (* 62 bits per word keeps every word a non-negative OCaml immediate,
    so shifts and masks never touch the tag or sign bit. *)
 let bpw = 62
@@ -65,7 +67,7 @@ let check_caps a b op =
 
 let equal a b =
   check_caps a b "equal";
-  a.words = b.words
+  int_array_equal a.words b.words
 
 let subset a b =
   check_caps a b "subset";

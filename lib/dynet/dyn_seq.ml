@@ -1,3 +1,5 @@
+open Ops
+
 type t = { n : int; rounds : Graph.t array }
 
 let of_graphs = function

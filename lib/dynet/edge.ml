@@ -1,3 +1,5 @@
+open Ops
+
 type t = { u : Node_id.t; v : Node_id.t }
 
 let make a b =

@@ -1,3 +1,5 @@
+open Ops
+
 type t = { n : int; tbl : (int, unit) Hashtbl.t }
 
 let create ~n ?(size_hint = 64) () =

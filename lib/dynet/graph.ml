@@ -1,3 +1,5 @@
+open Ops
+
 (* The snapshot is stored as a sorted array of packed edge keys
    (key = u*n + v for the canonical u < v; see Edge_table) plus the
    precomputed adjacency.  The Edge_set view is materialised lazily:
@@ -138,7 +140,7 @@ let delta_counts ~prev ~cur =
   end
 
 let same_edges a b =
-  a == b || (a.n = b.n && (a.keys == b.keys || a.keys = b.keys))
+  a == b || (a.n = b.n && (a.keys == b.keys || int_array_equal a.keys b.keys))
 
 let bfs t root =
   let dist = Array.make t.n max_int in

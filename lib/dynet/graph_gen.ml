@@ -1,3 +1,5 @@
+open Ops
+
 (* All builders accumulate into an int-keyed Edge_table and construct
    the snapshot through Graph.of_table: O(1) amortised inserts and no
    balanced-tree churn.  RNG draw sequences are identical to the

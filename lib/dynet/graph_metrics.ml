@@ -1,3 +1,5 @@
+open Ops
+
 type degree_stats = {
   min_degree : int;
   max_degree : int;

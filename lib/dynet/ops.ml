@@ -1,0 +1,23 @@
+(* Monomorphic comparison prelude.
+
+   Opening this module shadows [=], [<>] and [compare] with [int]-only
+   versions, so any structural comparison of a non-int value becomes a
+   type error instead of a silent polymorphic walk (slow on packed
+   bitset words, wrong on floats/functional values, and a footgun as
+   records grow fields).  dynlint's poly-compare rule enforces that
+   every module in the strict libraries either opens this prelude or
+   carries a waiver; see DESIGN.md "Static analysis".
+
+   Built on [Int.equal]/[Int.compare] so the file itself contains no
+   polymorphic-comparison reference. *)
+
+let ( = ) = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+let compare = Int.compare
+
+let int_array_equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  Int.equal n (Array.length b)
+  &&
+  let rec go i = i >= n || (Int.equal a.(i) b.(i) && go (i + 1)) in
+  go 0

@@ -1,0 +1,22 @@
+(** Monomorphic comparison prelude.
+
+    [open Ops] (or [open Dynet.Ops] outside dynet) shadows the
+    polymorphic [=], [<>] and [compare] with [int]-only versions:
+    comparing anything but ints then fails to typecheck, and the
+    comparisons that remain compile to direct integer instructions
+    rather than [caml_compare] calls.  Node ids, rounds, token uids and
+    packed bitset words are all ints, so this covers the hot paths.
+
+    For the few structural comparisons the code genuinely needs, use a
+    typed equality ([String.equal], [Option.is_none], pattern matches)
+    or {!int_array_equal} below.  dynlint's poly-compare rule keeps the
+    discipline honest. *)
+
+val ( = ) : int -> int -> bool
+val ( <> ) : int -> int -> bool
+val compare : int -> int -> int
+
+val int_array_equal : int array -> int array -> bool
+(** Length and element-wise equality, short-circuiting.  Replaces
+    polymorphic [=] on [int array] (bitset words, adjacency offsets)
+    with a loop the compiler unboxes. *)

@@ -1,3 +1,5 @@
+open Ops
+
 type t = Random.State.t
 
 let make ~seed = Random.State.make [| seed; 0x6f5d; seed lxor 0x2c1b7a |]

@@ -1,3 +1,5 @@
+open Ops
+
 (* Active edges live in a hash table keyed by the packed edge key
    (u*n + v, as in Edge_table), mapped to the round their current run
    started.  When a step changes nothing — the common case in the

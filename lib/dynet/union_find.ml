@@ -1,3 +1,5 @@
+open Ops
+
 type t = {
   parent : int array;
   rank : int array;

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 exception Protocol_violation of string
 exception Adversary_violation of string
 

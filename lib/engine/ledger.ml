@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type t = {
   counts : int array;
   mutable rounds : int;

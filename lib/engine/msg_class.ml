@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type t = Token | Completeness | Request | Walk | Center | Control
 
 let all = [ Token; Completeness; Request; Walk; Center; Control ]

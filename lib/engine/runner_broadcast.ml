@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module type PROTOCOL = sig
   type state
   type msg
@@ -33,6 +35,13 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let frun = Faults.Plan.start faults ~n in
   let faulty = Faults.Plan.active frun in
   let fcounts = Faults.Plan.counts frun in
+  (* Invariant layer, hoisted like [tracing]/[faulty].  A local
+     broadcast is charged once in the ledger but delivered per edge, so
+     [c_sent] counts broadcasts while the conservation counters track
+     per-edge message copies (see Runner_unicast for the scheme). *)
+  let checking = Check.enabled () in
+  let c_sent = ref 0 and c_created = ref 0 and c_consumed = ref 0 in
+  let c_dropped = ref 0 and c_inflight = ref 0 in
   let initial = if faulty then Array.copy states else [||] in
   (* Delayed per-edge deliveries: due round -> (dst, src, msg). *)
   let delayed : (int, (Dynet.Node_id.t * Dynet.Node_id.t * m) list ref)
@@ -55,7 +64,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let completed = ref (stop states) in
   let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && !aborted = None && !round < max_rounds do
+  while (not !completed) && Option.is_none !aborted && !round < max_rounds do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -68,7 +77,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       if Faults.Plan.doomed frun then
         aborted := Some "all nodes crashed with no possible restart"
     end;
-    if !aborted = None then begin
+    if Option.is_none !aborted then begin
       let intents =
         Array.map
           (fun _ -> (None : m option))
@@ -103,6 +112,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               let cls = P.classify m in
               Ledger.record ledger cls 1;
               Ledger.record_sender ledger v 1;
+              if checking then incr c_sent;
               if tracing then
                 Obs.Sink.emit obs
                   (Obs.Trace.Send
@@ -125,7 +135,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                 let u = row.(i) in
                 match intents.(u) with
                 | None -> ()
-                | Some m -> acc := (u, m) :: !acc
+                | Some m ->
+                    if checking then incr c_created;
+                    acc := (u, m) :: !acc
               done;
               !acc)
         else begin
@@ -142,9 +154,15 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                     let cls_name = Msg_class.to_string (P.classify m) in
                     match Faults.Plan.deliveries frun with
                     | None ->
+                        if checking then begin
+                          incr c_created;
+                          incr c_dropped
+                        end;
                         emit_fault ~round:r ~kind:"drop" ~node:u ~dst:v
                           ~cls:cls_name ()
                     | Some delays ->
+                        if checking then
+                          c_created := !c_created + List.length delays;
                         if List.length delays > 1 then
                           emit_fault ~round:r ~kind:"dup" ~node:u ~dst:v
                             ~cls:cls_name ();
@@ -152,6 +170,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                           (fun d ->
                             if d = 0 then inboxes.(v) <- (u, m) :: inboxes.(v)
                             else begin
+                              if checking then incr c_inflight;
                               emit_fault ~round:r ~kind:"delay" ~node:u ~dst:v
                                 ~cls:cls_name ();
                               let due = r + d in
@@ -171,6 +190,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
           (match Hashtbl.find_opt delayed r with
           | None -> ()
           | Some cell ->
+              if checking then
+                c_inflight := !c_inflight - List.length !cell;
               List.iter
                 (fun (dst, src, m) ->
                   inboxes.(dst) <- (src, m) :: inboxes.(dst))
@@ -178,6 +199,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               Hashtbl.remove delayed r);
           for v = 0 to n - 1 do
             if not (Faults.Plan.alive frun v) then begin
+              if checking then
+                c_dropped := !c_dropped + List.length inboxes.(v);
               List.iter
                 (fun (src, m) ->
                   fcounts.Faults.Counts.drops <-
@@ -193,9 +216,22 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         end
       in
       for v = 0 to n - 1 do
-        if (not faulty) || Faults.Plan.alive frun v then
+        if (not faulty) || Faults.Plan.alive frun v then begin
+          if checking then
+            c_consumed := !c_consumed + List.length inboxes.(v);
           states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
+        end
       done;
+      if checking then begin
+        Check.connected
+          ~what:(Printf.sprintf "round %d: adversary graph connectivity" r)
+          g;
+        Check.require ~what:"ledger total equals broadcasts performed"
+          (fun () -> Ledger.total ledger = !c_sent);
+        Check.require ~what:"message-copy conservation" (fun () ->
+            Check.conserved ~created:!c_created ~consumed:!c_consumed
+              ~dropped:!c_dropped ~in_flight:!c_inflight)
+      end;
       let p = sum_progress () in
       Ledger.note_progress ledger p;
       if tracing then

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module type PROTOCOL = sig
   type state
   type msg
@@ -55,6 +57,17 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let frun = Faults.Plan.start faults ~n in
   let faulty = Faults.Plan.active frun in
   let fcounts = Faults.Plan.counts frun in
+  (* Invariant layer, hoisted like [tracing]/[faulty]: with --check off
+     the counters below are never touched and no predicate runs.  The
+     counters track message *copies* through the delivery layer —
+     created at send (duplication creates extras, a send-time drop
+     destroys the copy), consumed at receive, destroyed with a dead
+     node's inbox, or delayed in flight — so the round-end conservation
+     check catches any accounting drift between the ledger and the
+     physical delivery path. *)
+  let checking = Check.enabled () in
+  let c_sent = ref 0 and c_created = ref 0 and c_consumed = ref 0 in
+  let c_dropped = ref 0 and c_inflight = ref 0 in
   (* Initial states, snapshotted for crash-restart state loss. *)
   let initial = if faulty then Array.copy states else [||] in
   (* Delayed deliveries: due round -> (dst, src, msg) in send order. *)
@@ -82,7 +95,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let completed = ref (stop states) in
   let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && !aborted = None && !round < max_rounds do
+  while (not !completed) && Option.is_none !aborted && !round < max_rounds do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -95,7 +108,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       if Faults.Plan.doomed frun then
         aborted := Some "all nodes crashed with no possible restart"
     end;
-    if !aborted = None then begin
+    if Option.is_none !aborted then begin
       let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
       Engine_error.check_graph ~round:r ~n g;
       let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
@@ -140,6 +153,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                   ());
               Ledger.record ledger cls 1;
               Ledger.record_sender ledger v 1;
+              if checking then incr c_sent;
               if tracing then
                 Obs.Sink.emit obs
                   (Obs.Trace.Send
@@ -151,14 +165,23 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                      });
               round_traffic := (v, dst, cls) :: !round_traffic;
               (* Collect in reverse, fix sender order below. *)
-              if not faulty then inboxes.(dst) <- (v, m) :: inboxes.(dst)
+              if not faulty then begin
+                if checking then incr c_created;
+                inboxes.(dst) <- (v, m) :: inboxes.(dst)
+              end
               else
                 let cls_name = Msg_class.to_string cls in
                 match Faults.Plan.deliveries frun with
                 | None ->
+                    if checking then begin
+                      incr c_created;
+                      incr c_dropped
+                    end;
                     emit_fault ~round:r ~kind:"drop" ~node:v ~dst
                       ~cls:cls_name ()
                 | Some delays ->
+                    if checking then
+                      c_created := !c_created + List.length delays;
                     if List.length delays > 1 then
                       emit_fault ~round:r ~kind:"dup" ~node:v ~dst
                         ~cls:cls_name ();
@@ -166,6 +189,7 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                       (fun d ->
                         if d = 0 then inboxes.(dst) <- (v, m) :: inboxes.(dst)
                         else begin
+                          if checking then incr c_inflight;
                           emit_fault ~round:r ~kind:"delay" ~node:v ~dst
                             ~cls:cls_name ();
                           let due = r + d in
@@ -190,6 +214,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         (match Hashtbl.find_opt delayed r with
         | None -> ()
         | Some cell ->
+            if checking then
+              c_inflight := !c_inflight - List.length !cell;
             List.iter
               (fun (dst, src, m) -> inboxes.(dst) <- (src, m) :: inboxes.(dst))
               (List.rev !cell);
@@ -197,6 +223,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         (* A node crashed at delivery time loses its whole inbox. *)
         for v = 0 to n - 1 do
           if not (Faults.Plan.alive frun v) then begin
+            if checking then
+              c_dropped := !c_dropped + List.length inboxes.(v);
             List.iter
               (fun (src, m) ->
                 fcounts.Faults.Counts.drops <-
@@ -209,15 +237,27 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         done
       end;
       for v = 0 to n - 1 do
-        if (not faulty) || Faults.Plan.alive frun v then
+        if (not faulty) || Faults.Plan.alive frun v then begin
           let inbox =
             List.stable_sort (fun (a, _) (b, _) -> Dynet.Node_id.compare a b)
               (List.rev inboxes.(v))
           in
+          if checking then c_consumed := !c_consumed + List.length inbox;
           states.(v) <-
             P.receive states.(v) ~round:r ~neighbors:(Dynet.Graph.neighbors g v)
               ~inbox
+        end
       done;
+      if checking then begin
+        Check.connected
+          ~what:(Printf.sprintf "round %d: adversary graph connectivity" r)
+          g;
+        Check.require ~what:"ledger total equals physical sends" (fun () ->
+            Ledger.total ledger = !c_sent);
+        Check.require ~what:"message-copy conservation" (fun () ->
+            Check.conserved ~created:!c_created ~consumed:!c_consumed
+              ~dropped:!c_dropped ~in_flight:!c_inflight)
+      end;
       let p = sum_progress () in
       Ledger.note_progress ledger p;
       if tracing then

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type msg = { coeffs : Gf2.Vec.t; payload : int }
 
 type state = {
@@ -32,8 +34,9 @@ let all_decoded ~k states = Array.for_all (decoded ~k) states
    the round on the empty combination. *)
 let random_packet st =
   let rows = Gf2.Basis.vectors st.basis in
-  if rows = [] then None
-  else begin
+  match rows with
+  | [] -> None
+  | _ :: _ -> begin
     let combine () =
       List.fold_left
         (fun (v, p) (row, row_payload) ->

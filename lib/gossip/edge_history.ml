@@ -7,6 +7,11 @@ type t = {
 
 type category = New | Idle | Contributive
 
+let category_equal a b =
+  match (a, b) with
+  | New, New | Idle, Idle | Contributive, Contributive -> true
+  | (New | Idle | Contributive), _ -> false
+
 let create ~n = { born = Array.make n (-1); contrib = Bitset.create n }
 
 let refresh t ~round ~neighbors =

@@ -17,6 +17,8 @@ type t
 
 type category = New | Idle | Contributive
 
+val category_equal : category -> category -> bool
+
 val create : n:int -> t
 (** No edges present. *)
 

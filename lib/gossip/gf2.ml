@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module Vec = struct
   type t = { dim : int; words : int array }
 
@@ -59,7 +61,7 @@ module Vec = struct
       (fun acc v -> if Dynet.Rng.bool rng then xor acc v else acc)
       (zero ~dim) vectors
 
-  let equal a b = a.dim = b.dim && a.words = b.words
+  let equal a b = a.dim = b.dim && int_array_equal a.words b.words
 
   let pp ppf v =
     for i = 0 to v.dim - 1 do

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type t = {
   n : int;
   k : int;
@@ -76,7 +78,9 @@ let k t = t.k
 let sources t =
   let acc = ref [] in
   for v = t.n - 1 downto 0 do
-    if t.assignment.(v) <> [] then acc := v :: !acc
+    match t.assignment.(v) with
+    | [] -> ()
+    | _ :: _ -> acc := v :: !acc
   done;
   !acc
 

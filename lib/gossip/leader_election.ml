@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module NMap = Dynet.Node_id.Map
 
 type state = {
@@ -32,8 +34,12 @@ module P = struct
     let told = ref st.told in
     Array.iter
       (fun w ->
-        let already = NMap.find_opt w !told in
-        if already <> Some st.champion then begin
+        let stale =
+          match NMap.find_opt w !told with
+          | Some c -> c <> st.champion
+          | None -> true
+        in
+        if stale then begin
           told := NMap.add w st.champion !told;
           msgs := (w, announce st.champion) :: !msgs
         end)

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module IMap = Map.Make (Int)
 module NMap = Dynet.Node_id.Map
 module Bitset = Dynet.Bitset
@@ -143,7 +145,7 @@ let request_task st ~round ~neighbors =
       in
       let in_category c =
         List.filter_map
-          (fun (w, cat) -> if cat = c then Some w else None)
+          (fun (w, cat) -> if Edge_history.category_equal cat c then Some w else None)
           eligible
       in
       let ordered =
@@ -186,6 +188,8 @@ let learn st (tok : Token.t) ~from =
     let known = IMap.add tok.idx tok ps.known in
     let kmask = Bitset.add tok.idx ps.kmask in
     let kcount = ps.kcount + 1 in
+    Check.bitset_cached ~what:"Multi_source: kcount desynced from kmask"
+      ~cached:kcount kmask;
     let complete =
       match ps.count with Some c -> kcount = c | None -> false
     in

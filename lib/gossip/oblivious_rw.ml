@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type result = {
   centers : int;
   skipped_phase1 : bool;

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type t =
   | Token_msg of Token.t
   | Completeness of { source : Dynet.Node_id.t; count : int }

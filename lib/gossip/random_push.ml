@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type state = {
   known : Token.t list;
   known_uids : Dynet.Node_id.Set.t;  (* uids are plain ints *)

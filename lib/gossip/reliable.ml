@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module NSet = Dynet.Node_id.Set
 module NMap = Dynet.Node_id.Map
 module ISet = Set.Make (Int)

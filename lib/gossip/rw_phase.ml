@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module Bitset = Dynet.Bitset
 
 type state = {

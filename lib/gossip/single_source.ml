@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 module IMap = Map.Make (Int)
 module Bitset = Dynet.Bitset
 
@@ -78,7 +80,7 @@ let incomplete_send st ~round ~neighbors =
       in
       let in_category c =
         List.filter_map
-          (fun (w, cat) -> if cat = c then Some w else None)
+          (fun (w, cat) -> if Edge_history.category_equal cat c then Some w else None)
           eligible
       in
       let ordered =
@@ -130,6 +132,8 @@ let learn st (tok : Token.t) ~from ~k_hint =
     let known = IMap.add tok.idx tok st.known in
     let kmask = Bitset.add tok.idx st.kmask in
     let kcount = st.kcount + 1 in
+    Check.bitset_cached ~what:"Single_source: kcount desynced from kmask"
+      ~cached:kcount kmask;
     let edges = Edge_history.mark_contributed st.edges from in
     let k = match st.k with Some _ as k -> k | None -> k_hint in
     let complete = match k with Some k -> kcount = k | None -> false in

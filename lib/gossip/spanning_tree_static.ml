@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type result = {
   control_messages : int;
   token_messages : int;

@@ -1,3 +1,5 @@
+open Dynet.Ops
+
 type t = { src : Dynet.Node_id.t; idx : int; uid : int }
 
 let make ~src ~idx ~uid =

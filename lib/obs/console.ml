@@ -1,0 +1,19 @@
+(* The sanctioned stderr path for executables.  dynlint's direct-print
+   rule bans ad-hoc [prerr_*] in libraries so all run output flows
+   through [Sink]; executables still need a human-facing stderr for
+   usage errors and abort notices, and routing those through here keeps
+   them greppable and mirrors them into an active sink as [Diag]
+   events when one is around. *)
+
+let emit ?sink ~level msg =
+  (match sink with
+  | Some s when not (Sink.is_null s) -> Sink.emit s (Trace.Diag { level; msg })
+  | _ -> ());
+  output_string stderr msg;
+  output_char stderr '\n';
+  flush stderr
+
+let error ?sink msg = emit ?sink ~level:"error" msg
+let note ?sink msg = emit ?sink ~level:"note" msg
+
+let lines ?sink msgs = List.iter (note ?sink) msgs

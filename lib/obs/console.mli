@@ -1,0 +1,17 @@
+(** Human-facing stderr for executables.
+
+    Libraries never print (dynlint's direct-print rule); executables
+    route usage errors and abort notices through here instead of raw
+    [prerr_endline], so every diagnostic has one exit point and is
+    mirrored into the active {!Sink} as a {!Trace.Diag} event when one
+    is passed. *)
+
+val error : ?sink:Sink.t -> string -> unit
+(** Write one line to stderr, flushed; mirrored as a [Diag] event with
+    level ["error"]. *)
+
+val note : ?sink:Sink.t -> string -> unit
+(** Same, with level ["note"] (usage text, progress remarks). *)
+
+val lines : ?sink:Sink.t -> string list -> unit
+(** [note] each line in order. *)

@@ -1,0 +1,240 @@
+(* Orchestration: walk the tree, run every rule, apply waivers, and
+   render the report.
+
+   File identity: each directory passed to [run] is labelled by its
+   basename, and files get ids like "lib/dynet/bitset.ml" regardless of
+   where the tree physically sits (the dune @lint alias runs in a
+   sandbox; tests run against fixture trees in temp dirs).  All scoping
+   below matches on ids. *)
+
+type config = {
+  strict_poly : string list;  (* id prefixes with the poly-compare rule *)
+  print_allowed : string list;  (* id prefixes free to print *)
+  physeq_allowed : string list;  (* exact ids free to use == / != *)
+  mli_required : string list;  (* id prefixes where .ml needs .mli *)
+}
+
+let default_config =
+  {
+    strict_poly = [ "lib/dynet/"; "lib/engine/"; "lib/gossip/" ];
+    print_allowed = [ "lib/obs/"; "bin/"; "bench/" ];
+    physeq_allowed = [ "lib/dynet/graph.ml"; "lib/dynet/stability.ml" ];
+    mli_required = [ "lib/" ];
+  }
+
+let has_prefix prefixes id =
+  List.exists
+    (fun p ->
+      String.length id >= String.length p
+      && String.equal (String.sub id 0 (String.length p)) p)
+    prefixes
+
+let scope_of config id =
+  {
+    Rules.strict_poly = has_prefix config.strict_poly id;
+    print_allowed = has_prefix config.print_allowed id;
+    physeq_allowed = List.exists (String.equal id) config.physeq_allowed;
+  }
+
+(* {2 Tree walk} *)
+
+let rec walk_dir dir rel acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      let rel = if String.equal rel "" then entry else rel ^ "/" ^ entry in
+      if Sys.is_directory path then
+        if String.length entry > 0 && entry.[0] = '.' then acc
+        else walk_dir path rel acc
+      else if
+        Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+      then (path, rel) :: acc
+      else acc)
+    acc
+    (let entries = Sys.readdir dir in
+     Array.sort String.compare entries;
+     entries)
+
+let collect_files dirs =
+  List.concat_map
+    (fun dir ->
+      let label = Filename.basename dir in
+      walk_dir dir label [] |> List.rev)
+    dirs
+
+(* {2 Waivers} *)
+
+let file_waivers (src : Source_file.t) =
+  List.fold_left
+    (fun (ws, errs) (text, loc) ->
+      match Waiver.parse_comment text loc ~known_rules:Rules.all_rules with
+      | None -> (ws, errs)
+      | Some (Ok w) -> (w :: ws, errs)
+      | Some (Error msg) ->
+          (ws, Rules.violation src loc "bad-waiver" msg :: errs))
+    ([], []) src.comments
+
+(* Apply waivers: drop covered violations, then report stale [allow]
+   waivers.  Unused [domain-safe] waivers are tolerated — reachability
+   shrinks as code moves, and the annotation stays true. *)
+let apply_waivers waivers violations =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (id, ws) -> Hashtbl.replace tbl id ws) waivers;
+  let surviving =
+    List.filter
+      (fun (v : Rules.violation) ->
+        let ws = Option.value (Hashtbl.find_opt tbl v.id) ~default:[] in
+        match
+          List.find_opt
+            (fun w -> Waiver.covers w ~rule:v.rule ~line:v.line)
+            ws
+        with
+        | Some w ->
+            Waiver.claim w;
+            false
+        | None -> true)
+      violations
+  in
+  let stale =
+    List.concat_map
+      (fun (id, ws) ->
+        List.filter_map
+          (fun (w : Waiver.t) ->
+            match (w.used, w.kind) with
+            | false, Waiver.Allow rule ->
+                Some
+                  {
+                    Rules.path = id;
+                    id;
+                    line = w.line;
+                    col = 0;
+                    rule = "stale-waiver";
+                    msg =
+                      Printf.sprintf
+                        "allow %s waiver matches no violation; delete it"
+                        rule;
+                  }
+            | _ -> None)
+          ws)
+      waivers
+  in
+  surviving @ stale
+
+(* {2 Entry points} *)
+
+type report = {
+  violations : Rules.violation list;
+  files_scanned : int;
+  sweep_reachable : string list;
+}
+
+let run ?(config = default_config) dirs =
+  let files =
+    List.map
+      (fun (path, id) -> Source_file.load ~path ~id)
+      (collect_files dirs)
+  in
+  let waivers, waiver_errs =
+    List.fold_left
+      (fun (ws, errs) (src : Source_file.t) ->
+        let w, e = file_waivers src in
+        ((src.id, w) :: ws, e @ errs))
+      ([], []) files
+  in
+  let per_file =
+    List.concat_map
+      (fun (src : Source_file.t) ->
+        Rules.check src ~scope:(scope_of config src.id))
+      files
+  in
+  (* Interface-presence rule. *)
+  let ids = List.map (fun (s : Source_file.t) -> s.id) files in
+  let missing_mli =
+    List.filter_map
+      (fun (s : Source_file.t) ->
+        match s.kind with
+        | Source_file.Mli -> None
+        | Source_file.Ml ->
+            if
+              has_prefix config.mli_required s.id
+              && not (List.exists (String.equal (s.id ^ "i")) ids)
+            then
+              Some
+                {
+                  Rules.path = s.path;
+                  id = s.id;
+                  line = 1;
+                  col = 0;
+                  rule = "missing-mli";
+                  msg = "library module has no interface (.mli)";
+                }
+            else None)
+      files
+  in
+  let ds_violations, sweep_reachable = Domain_safety.check ~files in
+  let violations =
+    apply_waivers waivers
+      (waiver_errs @ per_file @ missing_mli @ ds_violations)
+    |> List.sort (fun (a : Rules.violation) b ->
+           match String.compare a.id b.id with
+           | 0 -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)
+           | c -> c)
+  in
+  { violations; files_scanned = List.length files; sweep_reachable }
+
+(* Lint one in-memory source (fixture tests): per-file rules only. *)
+let lint_source ?(config = default_config) ~id content =
+  let tmp = Filename.temp_file "dynlint" (Filename.basename id) in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      output_string oc content;
+      close_out oc;
+      let src = Source_file.load ~path:tmp ~id in
+      let src = { src with Source_file.path = id } in
+      let ws, werrs = file_waivers src in
+      let vs = werrs @ Rules.check src ~scope:(scope_of config id) in
+      apply_waivers [ (id, ws) ] vs)
+
+(* {2 Rendering} *)
+
+let pp_violation ppf (v : Rules.violation) =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" v.path v.line v.col v.rule v.msg
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_to_json r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"dynlint/v1\",";
+  Buffer.add_string buf
+    (Printf.sprintf "\"files_scanned\":%d,\"violations\":[" r.files_scanned);
+  List.iteri
+    (fun i (v : Rules.violation) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+           (json_escape v.id) v.line v.col (json_escape v.rule)
+           (json_escape v.msg)))
+    r.violations;
+  Buffer.add_string buf "],\"sweep_reachable\":[";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape id)))
+    r.sweep_reachable;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

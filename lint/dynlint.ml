@@ -1,0 +1,60 @@
+(* dynlint — project-specific static analysis for the dynspread tree.
+
+   Usage: dynlint [--report FILE] DIR...
+
+   Walks every .ml/.mli under the given directories, enforces the
+   project rules (see lint/rules.ml for the rule table and DESIGN.md
+   "Static analysis" for the rationale), and exits nonzero when any
+   violation survives the waiver pass.  --report writes a JSON summary
+   (schema dynlint/v1) with the violation list and the
+   Sweep-reachability set. *)
+
+let usage () =
+  prerr_endline "usage: dynlint [--report FILE] DIR...";
+  prerr_endline "  DIR...         directories to scan (e.g. lib bin bench test)";
+  prerr_endline "  --report FILE  also write a JSON report to FILE";
+  exit 2
+
+let () =
+  let report_file = ref None in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--report" :: file :: rest ->
+        report_file := Some file;
+        parse rest
+    | [ "--report" ] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | dir :: rest ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Printf.eprintf "dynlint: %s is not a directory\n" dir;
+          exit 2
+        end;
+        dirs := dir :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !dirs = [] then usage ();
+  let report = Lintcore.Driver.run (List.rev !dirs) in
+  (match !report_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Lintcore.Driver.report_to_json report)));
+  List.iter
+    (fun v -> Format.printf "%a@." Lintcore.Driver.pp_violation v)
+    report.Lintcore.Driver.violations;
+  match report.Lintcore.Driver.violations with
+  | [] ->
+      Format.printf "dynlint: %d files clean (%d modules sweep-reachable)@."
+        report.Lintcore.Driver.files_scanned
+        (List.length report.Lintcore.Driver.sweep_reachable);
+      exit 0
+  | vs ->
+      Format.printf "dynlint: %d violation%s in %d files scanned@."
+        (List.length vs)
+        (if List.length vs = 1 then "" else "s")
+        report.Lintcore.Driver.files_scanned;
+      exit 1

@@ -1,0 +1,171 @@
+(* Per-file parsetree rules.
+
+   Rule ids (the names waivers use):
+
+     poly-compare   bare [=]/[<>]/[compare] in a strict library whose
+                    file does not open the monomorphic [Ops] prelude,
+                    or an explicitly qualified [Stdlib.(=)] /
+                    [Stdlib.compare] / [Hashtbl.hash] anywhere in a
+                    strict library (qualification bypasses shadowing)
+     physical-eq    [==]/[!=] outside the physical-reuse allowlist
+     obj-magic      [Obj.magic]
+     catch-all-try  [try ... with _ ->]
+     direct-print   [print_*]/[prerr_*]/[Printf.printf]/... outside
+                    the output allowlist (all output flows via Sink)
+     missing-mli    a [lib/] module without an interface (driver-level)
+     domain-safety  top-level mutable state reachable from Sweep
+                    workers (domain_safety.ml)
+     stale-waiver   an [allow] waiver matching no violation
+     bad-waiver     a [dynlint:] comment that does not parse
+     syntax         the file does not parse
+
+   The poly-compare rule is two-layered by design: the [Ops] prelude
+   shadows [=]/[<>]/[compare] with [int]-only versions, so once a file
+   opens it every non-int comparison is a *type error* caught by the
+   compiler; dynlint only has to check the discipline (the open is
+   present, and nobody reaches around the shadow via [Stdlib.]). *)
+
+type violation = {
+  path : string;
+  id : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let all_rules =
+  [
+    "poly-compare"; "physical-eq"; "obj-magic"; "catch-all-try";
+    "direct-print"; "missing-mli"; "domain-safety"; "stale-waiver";
+    "bad-waiver"; "syntax";
+  ]
+
+let violation (src : Source_file.t) (loc : Location.t) rule msg =
+  let line, col = Source_file.position_of loc.loc_start in
+  { path = src.path; id = src.id; line; col; rule; msg }
+
+(* {2 Longident classification} *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten p @ [ s ]
+  | Longident.Lapply (p, _) -> flatten p
+
+let is_poly_op = function "=" | "<>" | "compare" -> true | _ -> false
+
+(* Qualified references that reintroduce polymorphic comparison even
+   under the [Ops] shadow. *)
+let is_qualified_poly lid =
+  match flatten lid with
+  | [ ("Stdlib" | "Pervasives"); op ] -> is_poly_op op
+  | [ "Hashtbl"; "hash" ] | [ "Stdlib"; "Hashtbl"; "hash" ] -> true
+  | _ -> false
+
+let is_physical_eq = function
+  | Longident.Lident ("==" | "!=") -> true
+  | Longident.Ldot (Lident ("Stdlib" | "Pervasives"), ("==" | "!=")) -> true
+  | _ -> false
+
+let is_obj_magic lid =
+  match flatten lid with
+  | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] -> true
+  | _ -> false
+
+let print_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_int"; "prerr_char";
+    "prerr_float"; "prerr_bytes";
+  ]
+
+let is_print lid =
+  match flatten lid with
+  | [ f ] | [ "Stdlib"; f ] -> List.exists (String.equal f) print_fns
+  | [ ("Printf" | "Format"); ("printf" | "eprintf") ]
+  | [ "Stdlib"; ("Printf" | "Format"); ("printf" | "eprintf") ] ->
+      true
+  | _ -> false
+
+(* {2 The structure walk} *)
+
+(* A file satisfies the comparison discipline by opening a module whose
+   last component is [Ops] ([open Ops] inside dynet, [open Dynet.Ops]
+   elsewhere) at the top level. *)
+let opens_ops (str : Parsetree.structure) =
+  List.exists
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+        -> (
+          match List.rev (flatten txt) with
+          | "Ops" :: _ -> true
+          | _ -> false)
+      | _ -> false)
+    str
+
+type scope = {
+  strict_poly : bool;  (* poly-compare rule applies *)
+  print_allowed : bool;
+  physeq_allowed : bool;
+}
+
+let check_structure (src : Source_file.t) ~scope (str : Parsetree.structure) =
+  let out = ref [] in
+  let add loc rule msg = out := violation src loc rule msg :: !out in
+  let has_ops = opens_ops str in
+  let check_ident loc lid =
+    (match lid with
+    | Longident.Lident op when scope.strict_poly && is_poly_op op ->
+        if not has_ops then
+          add loc "poly-compare"
+            (Printf.sprintf
+               "polymorphic %s in a strict library: open the monomorphic \
+                prelude (Ops / Dynet.Ops) or use a typed comparison"
+               (match op with "compare" -> "compare" | o -> "( " ^ o ^ " )"))
+    | _ -> ());
+    if scope.strict_poly && is_qualified_poly lid then
+      add loc "poly-compare"
+        (Printf.sprintf "%s bypasses the monomorphic prelude"
+           (String.concat "." (flatten lid)));
+    if is_physical_eq lid && not scope.physeq_allowed then
+      add loc "physical-eq"
+        "physical equality outside the Stability physical-reuse allowlist";
+    if is_obj_magic lid then add loc "obj-magic" "Obj.magic is forbidden";
+    if is_print lid && not scope.print_allowed then
+      add loc "direct-print"
+        (Printf.sprintf "%s: library output must flow through Obs.Sink"
+           (String.concat "." (flatten lid)))
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> check_ident loc txt
+          | Pexp_try (_, cases) ->
+              List.iter
+                (fun (c : Parsetree.case) ->
+                  match (c.pc_lhs.ppat_desc, c.pc_guard) with
+                  | Ppat_any, None ->
+                      add c.pc_lhs.ppat_loc "catch-all-try"
+                        "catch-all 'try ... with _ ->' swallows every \
+                         exception (including Protocol_violation); match \
+                         specific exceptions"
+                  | _ -> ())
+                cases
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter str;
+  List.rev !out
+
+let check (src : Source_file.t) ~scope =
+  match src.parsed with
+  | Source_file.Syntax_error { line; col; msg } ->
+      [ { path = src.path; id = src.id; line; col; rule = "syntax"; msg } ]
+  | Source_file.Signature _ -> []
+  | Source_file.Structure str -> check_structure src ~scope str

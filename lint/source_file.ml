@@ -1,0 +1,112 @@
+(* One scanned source file: raw text, parsetree, comments, and the
+   token-level module-reference sets the domain-safety pass feeds on.
+
+   Everything here uses compiler-libs (the toolchain's own parser), so
+   dynlint accepts exactly the language the build accepts — no
+   second-grammar drift. *)
+
+type kind = Ml | Mli
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Syntax_error of { line : int; col : int; msg : string }
+
+type t = {
+  path : string;  (* as given on the command line, for diagnostics *)
+  id : string;  (* normalized repo-relative id, e.g. "lib/dynet/bitset.ml" *)
+  kind : kind;
+  content : string;
+  parsed : parsed;
+  comments : (string * Location.t) list;
+  (* Capitalized idents appearing anywhere in the token stream: a
+     cheap, sound over-approximation of "modules this file can
+     reach". *)
+  uidents : (string, unit) Hashtbl.t;
+  (* [M.f] applications found in the token stream, as (M, f) pairs;
+     used to find Sweep.map call sites. *)
+  qualified_calls : (string * string) list;
+}
+
+let kind_of_path path =
+  if Filename.check_suffix path ".mli" then Mli else Ml
+
+let module_name id =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename id))
+
+let position_of (pos : Lexing.position) =
+  (pos.pos_lnum, pos.pos_cnum - pos.pos_bol)
+
+(* Lex the whole file once, collecting capitalized idents and
+   [UIDENT DOT LIDENT] runs.  The file has already parsed, so the
+   lexer cannot fail here; a defensive guard stops on any error. *)
+let token_scan ~path content =
+  let uidents = Hashtbl.create 32 in
+  let calls = ref [] in
+  let lexbuf = Lexing.from_string content in
+  Location.init lexbuf path;
+  Lexer.init ();
+  let pending_uident = ref None (* Some m after [M], Some m after [M .] *)
+  and after_dot = ref false in
+  let continue = ref true in
+  while !continue do
+    match Lexer.token lexbuf with
+    | Parser.EOF -> continue := false
+    | Parser.UIDENT m ->
+        Hashtbl.replace uidents m ();
+        pending_uident := Some m;
+        after_dot := false
+    | Parser.DOT -> after_dot := Option.is_some !pending_uident
+    | Parser.LIDENT f ->
+        (match (!pending_uident, !after_dot) with
+        | Some m, true -> calls := (m, f) :: !calls
+        | _ -> ());
+        pending_uident := None;
+        after_dot := false
+    | _ ->
+        pending_uident := None;
+        after_dot := false
+    | exception _ -> continue := false
+  done;
+  (uidents, List.rev !calls)
+
+let load ~path ~id =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let kind = kind_of_path path in
+  let parse () =
+    let lexbuf = Lexing.from_string content in
+    Location.init lexbuf path;
+    match kind with
+    | Ml -> Structure (Parse.implementation lexbuf)
+    | Mli -> Signature (Parse.interface lexbuf)
+  in
+  let parsed, comments =
+    match parse () with
+    | ast -> (ast, Lexer.comments ())
+    | exception Syntaxerr.Error err ->
+        let loc = Syntaxerr.location_of_error err in
+        let line, col = position_of loc.loc_start in
+        (Syntax_error { line; col; msg = "syntax error" }, [])
+    | exception Lexer.Error (_, loc) ->
+        let line, col = position_of loc.loc_start in
+        (Syntax_error { line; col; msg = "lexical error" }, [])
+  in
+  let uidents, qualified_calls =
+    match parsed with
+    | Syntax_error _ -> (Hashtbl.create 1, [])
+    | Structure _ | Signature _ -> token_scan ~path content
+  in
+  { path; id; kind; content; parsed; comments; uidents; qualified_calls }
+
+let references t name = Hashtbl.mem t.uidents name
+
+let calls t ~modname ~fns =
+  List.exists
+    (fun (m, f) -> String.equal m modname && List.mem f fns)
+    t.qualified_calls

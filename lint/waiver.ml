@@ -1,0 +1,99 @@
+(* Waiver comments.
+
+   Two forms, checked strictly so waivers stay greppable and honest:
+
+     (* dynlint: allow <rule> — <reason> *)
+     (* dynlint: domain-safe — <reason> *)
+
+   The dash may be an em-dash, "--", or "-".  A waiver covers
+   violations of its rule on the same line or on the line immediately
+   after (so it can sit on its own line above the flagged expression).
+   Malformed "dynlint:" comments and [allow] waivers that match no
+   violation are themselves violations: a stale waiver is a lie about
+   the code. *)
+
+type kind = Allow of string | Domain_safe
+
+type t = {
+  kind : kind;
+  reason : string;
+  line : int;  (* line the comment starts on *)
+  end_line : int;
+  mutable used : bool;
+}
+
+let trim = String.trim
+
+(* [strip_dash s] expects [s] to start with a dash separator and
+   returns what follows it; rule names themselves contain hyphens
+   (physical-eq), so the separator is only ever looked for *after* the
+   keyword and rule tokens have been consumed. *)
+let strip_dash s =
+  let n = String.length s in
+  let sub a = String.sub s a (n - a) in
+  if n >= 3 && String.equal (String.sub s 0 3) "\xe2\x80\x94" then
+    Some (sub 3) (* U+2014 em-dash *)
+  else if n >= 2 && s.[0] = '-' && s.[1] = '-' then Some (sub 2)
+  else if n >= 1 && s.[0] = '-' then Some (sub 1)
+  else None
+
+(* First whitespace-delimited token of [s], and the rest. *)
+let next_token s =
+  let s = trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, trim (String.sub s i (String.length s - i)))
+
+let prefix = "dynlint:"
+
+(* [parse_comment text loc] returns [None] for ordinary comments,
+   [Some (Ok w)] for well-formed waivers, and [Some (Error msg)] for
+   comments that invoke dynlint but don't parse. *)
+let parse_comment text (loc : Location.t) ~known_rules =
+  let body = trim text in
+  if not (String.length body >= String.length prefix
+          && String.equal (String.sub body 0 (String.length prefix)) prefix)
+  then None
+  else
+    let rest =
+      trim (String.sub body (String.length prefix)
+              (String.length body - String.length prefix))
+    in
+    let line = loc.loc_start.pos_lnum and end_line = loc.loc_end.pos_lnum in
+    let make kind reason = { kind; reason; line; end_line; used = false } in
+    let finish kind tail =
+      match strip_dash tail with
+      | None -> Some (Error "waiver is missing a \xe2\x80\x94 <reason> part")
+      | Some reason ->
+          let reason = trim reason in
+          if String.equal reason "" then
+            Some (Error "waiver has an empty reason")
+          else Some (Ok (make kind reason))
+    in
+    match next_token rest with
+    | "domain-safe", tail -> finish Domain_safe tail
+    | "allow", tail -> (
+        match next_token tail with
+        | "", _ -> Some (Error "allow waiver is missing its rule name")
+        | rule, tail ->
+            if List.exists (String.equal rule) known_rules then
+              finish (Allow rule) tail
+            else
+              Some (Error (Printf.sprintf "waiver names unknown rule %S" rule)))
+    | _ ->
+        Some
+          (Error
+             "waiver must be 'allow <rule> \xe2\x80\x94 <reason>' or \
+              'domain-safe \xe2\x80\x94 <reason>'")
+
+(* Does [w] cover a violation of [rule] reported at [line]? *)
+let covers w ~rule ~line =
+  let right_rule =
+    match (w.kind, rule) with
+    | Allow r, _ -> String.equal r rule
+    | Domain_safe, _ -> String.equal rule "domain-safety"
+  in
+  right_rule && line >= w.line && line <= w.end_line + 1
+
+let claim w = w.used <- true

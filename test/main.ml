@@ -15,4 +15,6 @@ let () =
       ("weak-adversary", Test_weak.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("lint", Test_lint.suite);
+      ("check", Test_check.suite);
     ]
