@@ -29,7 +29,11 @@ let run_tables ~jobs ~metrics () =
   print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
   print_newline ();
   List.iter print_table
-    (Analysis.Experiments.all ~jobs ~metrics ~seed ())
+    (Analysis.Experiments.all ~jobs ~metrics ~seed ());
+  (* E17 lives in the scenario library (it exercises the importer and
+     replayer), so it joins the sequence here rather than in
+     Analysis.Experiments. *)
+  print_table (Scenario.Experiment.real_trace ~jobs ~metrics ~seed ())
 
 (* {2 Part 2: Bechamel micro-benchmarks, one per experiment} *)
 
@@ -198,6 +202,25 @@ let bench_e15_reliable_under_loss () =
     in
     assert r.Engine.Run_result.completed
 
+let bench_e17_real_trace () =
+  (* E17's unit of work: Multi-Source-Unicast over the imported
+     office-contact trace, replayed with Loop semantics (import cost is
+     paid once, outside the measured thunk). *)
+  let trace =
+    match Scenario.Contacts.import Scenario.Experiment.sample_contacts with
+    | Ok (trace, _) -> trace
+    | Error e -> failwith e
+  in
+  let n = trace.Scenario.Trace_io.header.n in
+  let instance = instance_ms ~n ~k:n ~s:4 ~seed:(seed + 1) in
+  fun () ->
+    let env =
+      Gossip.Runners.Oblivious
+        (Scenario.Replay.schedule ~past_end:Scenario.Replay.Loop trace)
+    in
+    let r, _ = Gossip.Runners.multi_source ~instance ~env () in
+    assert r.Engine.Run_result.completed
+
 let bench_e14_weak_adversary () =
   let n = 48 in
   let adv = Adversary.Weak_bcast.make ~seed ~n in
@@ -238,6 +261,8 @@ let tests =
         (Staged.stage (bench_e15_fault_none_overhead ()));
       Test.make ~name:"e15/faults:reliable-loss20"
         (Staged.stage (bench_e15_reliable_under_loss ()));
+      Test.make ~name:"e17/real-trace:multi-source"
+        (Staged.stage (bench_e17_real_trace ()));
     ]
 
 (* Runs the micro-benchmarks, prints the human table, and returns the

@@ -8,6 +8,8 @@
      dynspread lowerbound  just E2 (+E3)
      dynspread competitive just E4/E5/E6
      dynspread sweep       size sweeps of one protocol x environment
+     dynspread scenario    record / import / validate / run declarative
+                           scenario workloads (lib/scenario)
 
    Every command is deterministic in --seed.  `run` and `sweep` take
    --trace FILE.jsonl (per-round event trace, NDJSON) and --json
@@ -496,7 +498,7 @@ let experiment_names =
     ("e0", `E0); ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4);
     ("e6", `E6); ("e7", `E7); ("e8", `E8); ("e9", `E9); ("e10", `E10);
     ("e11", `E11); ("e12", `E12); ("e13", `E13); ("e14", `E14);
-    ("e15", `E15); ("e16", `E16);
+    ("e15", `E15); ("e16", `E16); ("e17", `E17);
   ]
 
 let timings_arg =
@@ -517,7 +519,7 @@ let experiments_cmd =
       & pos_all (Arg.enum experiment_names) []
       & info [] ~docv:"ID"
           ~doc:
-            "Experiment ids (e0 e1 ... e16); default: all.")
+            "Experiment ids (e0 e1 ... e17); default: all.")
   in
   let run ids csv seed jobs timings check =
     Check.set_enabled check;
@@ -543,6 +545,7 @@ let experiments_cmd =
           | `E14 -> Analysis.Experiments.adaptivity ?metrics ~seed ()
           | `E15 -> Analysis.Experiments.robustness_loss ?metrics ~seed ()
           | `E16 -> Analysis.Experiments.robustness_crash ?metrics ~seed ()
+          | `E17 -> Scenario.Experiment.real_trace ~jobs ?metrics ~seed ()
         in
         print_table ~csv table)
       selected;
@@ -741,6 +744,317 @@ let sweep_cmd =
         (const run $ protocol_arg $ env_arg $ sizes_arg $ k_factor_arg
         $ sigma_arg $ seed_arg $ csv_arg $ trace_arg $ json_arg))
 
+(* {2 scenario} *)
+
+(* Scenario validation failures are invocation problems, same bucket
+   as bad flags: every message to stderr, exit 2. *)
+let spec_errors path errs =
+  Obs.Console.error (Printf.sprintf "error: %s is not a valid scenario spec:" path);
+  Obs.Console.lines (List.map (fun e -> "  - " ^ e) errs);
+  exit 2
+
+let load_spec path =
+  match Scenario.Spec.load path with
+  | Ok spec -> spec
+  | Error errs -> spec_errors path errs
+
+let output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write (NDJSON).")
+
+let scenario_run_cmd =
+  let doc =
+    "Execute a scenario spec: one JSON run report per repeat, one per line \
+     on stdout."
+  in
+  let spec_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Scenario spec file (JSON).")
+  in
+  let run path jobs check =
+    Check.set_enabled check;
+    let spec = load_spec path in
+    match
+      Scenario.Runner.run ~jobs ~base_dir:(Filename.dirname path) spec
+    with
+    | Error e ->
+        Obs.Console.error ("error: " ^ e);
+        exit 2
+    | Ok reports ->
+        Array.iter
+          (fun r -> print_endline (Obs.Json.to_string (Obs.Report.to_json r)))
+          reports
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ spec_pos $ jobs_arg $ check_arg)
+
+let scenario_record_cmd =
+  let doc =
+    "Record a spec's built-in oblivious environment (at the spec's seed) \
+     into a replayable trace file."
+  in
+  let spec_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Scenario spec file (JSON).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            "Rounds to record. Default (0): the spec's max_rounds if set, \
+             else the algorithm's full default round cap — guaranteeing the \
+             trace covers any replayed run of the same spec bit-for-bit.")
+  in
+  let run path out rounds =
+    let spec = load_spec path in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Obs.Console.error ("error: " ^ m);
+          exit 2)
+        fmt
+    in
+    let n =
+      match spec.Scenario.Spec.n with
+      | Some n -> n
+      | None -> fail "%s: recording needs an explicit n" path
+    in
+    if rounds < 0 then fail "--rounds %d is negative" rounds;
+    let rounds =
+      if rounds > 0 then rounds
+      else
+        match spec.Scenario.Spec.max_rounds with
+        | Some r -> r
+        | None -> (
+            match spec.Scenario.Spec.algorithm with
+            | Scenario.Spec.Flooding ->
+                Gossip.Runners.default_broadcast_cap ~n ~k:spec.Scenario.Spec.k
+            | Scenario.Spec.Single_source | Scenario.Spec.Multi_source ->
+                Gossip.Runners.default_unicast_cap ~n ~k:spec.Scenario.Spec.k
+            | Scenario.Spec.Oblivious_rw ->
+                (* phase-1 + phase-2 default caps of Algorithm 2 *)
+                (50 * n) + 1000 + (4 * n * spec.Scenario.Spec.k) + (4 * n * n))
+    in
+    match
+      Scenario.Runner.builtin_schedule ~env:spec.Scenario.Spec.env
+        ~sigma:spec.Scenario.Spec.sigma ~n ~seed:spec.Scenario.Spec.seed
+    with
+    | None ->
+        fail
+          "%s: only the built-in oblivious environments can be recorded here \
+           (traces are already recorded; the request-cutter is adaptive — \
+           capture its realized schedule with the library's Record wrappers)"
+          path
+    | Some schedule -> (
+        let trace =
+          Scenario.Record.of_schedule ~seed:spec.Scenario.Spec.seed
+            ~provenance:
+              ("oblivious:" ^ Scenario.Spec.env_family spec.Scenario.Spec.env)
+            ~rounds schedule
+        in
+        match Scenario.Trace_io.save out trace with
+        | Ok () ->
+            Obs.Console.note
+              (Printf.sprintf "recorded %d rounds of %s (n=%d, seed=%d) to %s"
+                 rounds
+                 (Scenario.Spec.env_family spec.Scenario.Spec.env)
+                 n spec.Scenario.Spec.seed out)
+        | Error e ->
+            Obs.Console.error ("error: " ^ e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(const run $ spec_pos $ output_arg $ rounds_arg)
+
+let scenario_import_cmd =
+  let doc =
+    "Import a contact-sequence CSV (t,u,v[,duration] lines, # comments) \
+     into a round-bucketed trace file."
+  in
+  let csv_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CSV" ~doc:"Contact-sequence file.")
+  in
+  let bucket_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "bucket" ] ~docv:"SECONDS"
+          ~doc:"Time-bucket length: contacts within one bucket form one round.")
+  in
+  let no_repair_arg =
+    Arg.(
+      value & flag
+      & info [ "no-repair" ]
+          ~doc:
+            "Keep disconnected rounds as-is instead of adding the minimal \
+             connecting edges (the engines will then reject the trace at \
+             run time).")
+  in
+  let run path out bucket no_repair =
+    if not (Float.is_finite bucket && bucket > 0.) then begin
+      Obs.Console.error
+        (Printf.sprintf "error: --bucket %g is not a positive duration" bucket);
+      exit 2
+    end;
+    match Scenario.Contacts.import_file ~bucket ~repair:(not no_repair) path with
+    | Error e ->
+        Obs.Console.error ("error: " ^ e);
+        exit 2
+    | Ok (trace, st) -> (
+        match Scenario.Trace_io.save out trace with
+        | Ok () ->
+            Obs.Console.lines
+              [
+                Printf.sprintf "imported %s -> %s" path out;
+                Printf.sprintf
+                  "  %d contacts -> %d nodes, %d rounds (%d empty buckets \
+                   skipped)"
+                  st.Scenario.Contacts.contacts st.Scenario.Contacts.nodes
+                  st.Scenario.Contacts.imported_rounds
+                  st.Scenario.Contacts.empty_buckets;
+                Printf.sprintf
+                  "  normalized: %d self-loops dropped, %d duplicates \
+                   collapsed, %d out-of-order rows"
+                  st.Scenario.Contacts.self_loops
+                  st.Scenario.Contacts.duplicates
+                  st.Scenario.Contacts.out_of_order;
+                Printf.sprintf
+                  "  connectivity repair: %d rounds patched with %d edges"
+                  st.Scenario.Contacts.repaired_rounds
+                  st.Scenario.Contacts.repaired_edges;
+              ]
+        | Error e ->
+            Obs.Console.error ("error: " ^ e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc)
+    Term.(const run $ csv_pos $ output_arg $ bucket_arg $ no_repair_arg)
+
+let scenario_validate_cmd =
+  let doc =
+    "Validate scenario specs and trace files (sniffed by their schema \
+     field); exit 2 if any file has a problem."
+  in
+  let files_pos =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Spec or trace files.")
+  in
+  (* Sniff by the leading document's "schema" field: a spec file is one
+     (possibly multi-line) JSON object, a trace file is NDJSON whose
+     first line is the header. *)
+  let schema_of path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+        let content =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let first_doc =
+          match Obs.Json.of_string content with
+          | Ok j -> Some j
+          | Error _ -> (
+              match String.index_opt content '\n' with
+              | None -> None
+              | Some i -> (
+                  match Obs.Json.of_string (String.sub content 0 i) with
+                  | Ok j -> Some j
+                  | Error _ -> None))
+        in
+        (match first_doc with
+        | Some j -> (
+            match Obs.Json.member "schema" j with
+            | Some (Obs.Json.String s) -> Ok s
+            | _ -> Error "leading JSON document has no \"schema\" field")
+        | None -> Error "not JSON/NDJSON (cannot read a schema field)")
+  in
+  let run files =
+    let failed = ref false in
+    let problem path msgs =
+      failed := true;
+      Obs.Console.error (Printf.sprintf "%s: INVALID" path);
+      Obs.Console.lines (List.map (fun m -> "  - " ^ m) msgs)
+    in
+    List.iter
+      (fun path ->
+        match schema_of path with
+        | Error e -> problem path [ e ]
+        | Ok s when String.equal s Scenario.Spec.schema_name -> (
+            match Scenario.Spec.load path with
+            | Error errs -> problem path errs
+            | Ok spec ->
+                Obs.Console.note
+                  (Printf.sprintf "%s: valid scenario spec (%s, %s env%s)"
+                     path
+                     (Scenario.Spec.algorithm_name spec.Scenario.Spec.algorithm)
+                     (Scenario.Spec.env_family spec.Scenario.Spec.env)
+                     (match spec.Scenario.Spec.n with
+                     | Some n -> Printf.sprintf ", n=%d" n
+                     | None -> "")))
+        | Ok s when String.equal s Scenario.Trace_io.schema_name -> (
+            match Scenario.Trace_io.load path with
+            | Error e -> problem path [ e ]
+            | Ok trace -> (
+                match Scenario.Trace_io.validate trace with
+                | Error e -> problem path [ e ]
+                | Ok st -> (
+                    match st.Scenario.Trace_io.first_disconnected with
+                    | Some r ->
+                        problem path
+                          [
+                            Printf.sprintf
+                              "round %d is disconnected — the engines will \
+                               reject this trace; re-import without \
+                               --no-repair"
+                              r;
+                          ]
+                    | None ->
+                        Obs.Console.note
+                          (Printf.sprintf
+                             "%s: valid trace (n=%d, %d rounds, TC=%d, max \
+                              %d edges/round)"
+                             path trace.Scenario.Trace_io.header.n
+                             st.Scenario.Trace_io.stat_rounds
+                             st.Scenario.Trace_io.stat_tc
+                             st.Scenario.Trace_io.stat_max_edges))))
+        | Ok s ->
+            problem path
+              [
+                Printf.sprintf
+                  "unknown schema %S (expected %S or %S)" s
+                  Scenario.Spec.schema_name Scenario.Trace_io.schema_name;
+              ])
+      files;
+    if !failed then exit 2
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ files_pos)
+
+let scenario_cmd =
+  let doc =
+    "Declarative scenario workloads: record built-in environments as \
+     traces, import real contact data, validate, and run."
+  in
+  Cmd.group
+    (Cmd.info "scenario" ~doc)
+    [
+      scenario_run_cmd; scenario_record_cmd; scenario_import_cmd;
+      scenario_validate_cmd;
+    ]
+
 let main_cmd =
   let doc =
     "information spreading in adversarial dynamic networks (Ahmadi et al., \
@@ -750,7 +1064,7 @@ let main_cmd =
   Cmd.group info
     [
       run_cmd; experiments_cmd; table1_cmd; lowerbound_cmd; competitive_cmd;
-      sweep_cmd;
+      sweep_cmd; scenario_cmd;
     ]
 
 (* The engine's violation exceptions mean a protocol or adversary

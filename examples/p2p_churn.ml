@@ -1,55 +1,76 @@
-(* P2P overlay under churn: every peer publishes a batch of updates
-   (multi-source gossip).  Compares plain message complexity with the
-   adversary-competitive accounting (Definition 1.3) across increasingly
-   hostile environments, including the adaptive request-cutter.
+(* P2P overlay under churn, driven by a declarative scenario file.
+
+   Peers publish batches of updates (multi-source gossip) over an
+   overlay whose edges rewire every round.  The whole workload
+   — algorithm, environment, instance shape, fault plan, seeds, repeats
+   — lives in p2p_churn.scenario.json next to this file; the code only
+   loads the spec, runs it through Scenario.Runner (the same path as
+   `dynspread scenario run`), and prints the cost accounting.
+
+   Edit the JSON and re-run to explore: no recompilation needed.
 
    Run with: dune exec examples/p2p_churn.exe *)
 
-let run_env name env instance =
-  let n = Gossip.Instance.n instance in
-  let k = Gossip.Instance.k instance in
-  let s = Gossip.Instance.source_count instance in
-  let result, _ = Gossip.Runners.multi_source ~instance ~env () in
-  let ledger = result.Engine.Run_result.ledger in
-  Format.printf
-    "%-18s %9s %7d rounds %8d msgs %6d TC %10.0f competitive (budget %.0f)@."
-    name
-    (if result.Engine.Run_result.completed then "done" else "CAPPED")
-    result.Engine.Run_result.rounds
-    (Engine.Ledger.total ledger)
-    (Engine.Ledger.tc ledger)
-    (Engine.Ledger.competitive_cost ledger ~alpha:1.)
-    (Gossip.Bounds.multi_source_budget ~n ~k ~s)
+(* Fallback when the binary runs from a directory that does not have
+   the spec file in sight: byte-for-byte the shipped spec. *)
+let embedded_spec =
+  {json|{ "schema": "dynspread-scenario/v1",
+  "name": "p2p-churn",
+  "algorithm": "multi-source",
+  "env": { "family": "rewiring", "rate": 0.25 },
+  "n": 16, "k": 24, "s": 4,
+  "seed": 11, "repeats": 3 }
+|json}
+
+let load_spec () =
+  let candidates =
+    [ "examples/p2p_churn.scenario.json"; "p2p_churn.scenario.json" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> (path, Scenario.Spec.load path)
+  | None -> ("<embedded>", Scenario.Spec.of_string embedded_spec)
 
 let () =
-  let n = 24 in
-  let peers_with_updates = 6 in
-  let k = 48 in
-  let rng = Dynet.Rng.make ~seed:7 in
-  let instance =
-    Gossip.Instance.multi_source ~rng ~n ~k ~s:peers_with_updates
+  let origin, spec = load_spec () in
+  let spec =
+    match spec with
+    | Ok spec -> spec
+    | Error errs ->
+        Format.eprintf "@[<v>invalid scenario spec (%s):@ %a@]@." origin
+          (Format.pp_print_list Format.pp_print_string)
+          errs;
+        exit 2
   in
-  Format.printf "P2P overlay: %d peers, %d publishers, %d updates@.@." n
-    peers_with_updates k;
-  let stable sched = Adversary.Schedule.stabilized ~sigma:3 sched in
-  run_env "static overlay"
-    (Gossip.Runners.Oblivious
-       (Adversary.Oblivious.static
-          (Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed:11) ~n
-             ~p:0.15)))
-    instance;
-  run_env "mild churn"
-    (Gossip.Runners.Oblivious
-       (stable (Adversary.Oblivious.rewiring ~seed:12 ~n ~extra:n ~rate:0.1)))
-    instance;
-  run_env "heavy churn"
-    (Gossip.Runners.Oblivious
-       (stable (Adversary.Oblivious.tree_rotator ~seed:13 ~n)))
-    instance;
-  run_env "request cutter"
-    (Gossip.Runners.Request_cutting { seed = 14; cut_prob = 0.5 })
-    instance;
+  let n = Option.value spec.Scenario.Spec.n ~default:0 in
+  let k = spec.Scenario.Spec.k in
   Format.printf
-    "@.The competitive column stays near the O(n^2 s + nk) budget no matter@.\
-     how much the environment churns: every extra message the protocol had@.\
-     to send is matched by a topology change the adversary had to make.@."
+    "P2P overlay (%s):@.%d peers, %d publishers, %d updates, %s env@.@."
+    origin n spec.Scenario.Spec.s k
+    (Scenario.Spec.env_family spec.Scenario.Spec.env);
+  let reports =
+    match Scenario.Runner.run spec with
+    | Ok reports -> reports
+    | Error e ->
+        Format.eprintf "scenario failed: %s@." e;
+        exit 2
+  in
+  let budget =
+    Gossip.Bounds.multi_source_budget ~n ~k ~s:spec.Scenario.Spec.s
+  in
+  Array.iter
+    (fun (r : Obs.Report.t) ->
+      Format.printf
+        "%-28s %6s %5d rounds %6d msgs %5d TC %8.0f competitive (budget \
+         %.0f)@."
+        r.Obs.Report.name
+        (if r.Obs.Report.completed then "done" else "CAPPED")
+        r.Obs.Report.rounds r.Obs.Report.messages r.Obs.Report.tc
+        r.Obs.Report.competitive_cost budget)
+    reports;
+  Format.printf
+    "@.The competitive column stays near the O(n^2 s + nk) budget however@.\
+     much the overlay churns: every extra message the protocol had@.\
+     to send is matched by a topology change the adversary had to@.\
+     make.  Edit %s and re-run to explore.@."
+    (if String.equal origin "<embedded>" then "examples/p2p_churn.scenario.json"
+     else origin)

@@ -22,7 +22,8 @@ type ('state, 'msg) adversary =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?target_progress ~(states : s array) ~(adversary : (s, m) adversary)
+    ?on_graph ?target_progress ~(states : s array)
+    ~(adversary : (s, m) adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
@@ -93,6 +94,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       done;
       let g = adversary ~round:r ~prev:!prev ~states ~intents in
       Engine_error.check_graph ~round:r ~n g;
+      (* Recorder hook: see Runner_unicast — the committed round graph,
+         once per round, for realized-schedule capture. *)
+      (match on_graph with None -> () | Some f -> f ~round:r g);
       let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
       Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
       if tracing then

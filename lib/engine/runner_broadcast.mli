@@ -45,6 +45,7 @@ val run :
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
   ?faults:Faults.Plan.t ->
+  ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   states:'s array ->
   adversary:('s, 'm) adversary ->
@@ -56,6 +57,11 @@ val run :
     round 1 for already-solved instances) or [max_rounds] is reached.
     [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting when chaining runs.
+
+    [on_graph] (default: nothing) is the recorder hook of
+    {!Runner_unicast.run}: called once per executed round with the
+    validated round graph, enabling realized-schedule capture of
+    adaptive adversaries (e.g. the Section-2 lower-bound adversary).
 
     [obs] (default {!Obs.Sink.null}: zero overhead, nothing emitted)
     receives the {!Obs.Trace} event stream: an initial round-0

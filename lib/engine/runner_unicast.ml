@@ -43,7 +43,7 @@ let mem_sorted arr x =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?target_progress ~(states : s array) ~(adversary : s adversary)
+    ?on_graph ?target_progress ~(states : s array) ~(adversary : s adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
@@ -111,6 +111,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     if Option.is_none !aborted then begin
       let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
       Engine_error.check_graph ~round:r ~n g;
+      (* Recorder hook: the committed (validated) round graph, once per
+         round — what a trace of this execution's realized schedule
+         must contain, whether the adversary was oblivious or not. *)
+      (match on_graph with None -> () | Some f -> f ~round:r g);
       let tc0 = Ledger.tc ledger and rm0 = Ledger.removals ledger in
       Ledger.note_graph_change ledger ~prev:!prev ~cur:g;
       if tracing then

@@ -57,6 +57,7 @@ val run :
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
   ?faults:Faults.Plan.t ->
+  ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   states:'s array ->
   adversary:'s adversary ->
@@ -68,6 +69,13 @@ val run :
     topological-change accounting — pass the previous phase's last
     graph when chaining runs so [TC] is not inflated by a phantom
     re-insertion of every edge.
+
+    [on_graph] (default: nothing) is the recorder hook: it is called
+    exactly once per executed round with the validated round graph the
+    adversary committed to, {e before} any message is sent.  Unlike the
+    count-only [Graph_change] trace event it carries the graph itself,
+    so a scenario recorder can capture the realized schedule of an
+    {e adaptive} adversary and replay it later as an oblivious one.
 
     [obs] (default {!Obs.Sink.null}: zero overhead, nothing emitted)
     receives the {!Obs.Trace} event stream: an initial round-0

@@ -10,27 +10,28 @@ let unicast_adversary ~n = function
   | Request_cutting { seed; cut_prob } ->
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
-let single_source ~instance ~env ?max_rounds ?config ?faults ?obs () =
+let single_source ~instance ~env ?max_rounds ?config ?faults ?obs ?on_graph
+    () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Single_source.init ?config ~instance () in
-  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults
+  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Single_source.all_complete ~k)
     ()
 
-let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?faults ?obs ()
-    =
+let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?faults ?obs
+    ?on_graph () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
-  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults
+  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -119,13 +120,14 @@ let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
     Array.map Reliable_multi.inner states,
     retransmits )
 
-let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs () =
+let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs
+    ?on_graph () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Flooding.init ~instance ?phase_len () in
-  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults
+  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds

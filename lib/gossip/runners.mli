@@ -20,7 +20,13 @@
     instead of a bare failure bit.  The lower-bound runners
     ({!flooding_vs_lower_bound}, {!greedy_vs_lower_bound}) model a
     worst-case {e adversary}, not a faulty {e environment}, and take
-    no fault plan. *)
+    no fault plan.
+
+    The workhorse runners ({!single_source}, {!multi_source},
+    {!flooding}) also forward the engines' [?on_graph] recorder hook,
+    so {!Scenario.Record} (in [lib/scenario]) can capture the realized
+    round-graph sequence of any run — including adaptive environments
+    like the request-cutter — into a replayable trace. *)
 
 type unicast_env =
   | Oblivious of Adversary.Schedule.t
@@ -42,6 +48,7 @@ val single_source :
   ?config:Single_source.config ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Single_source.state array
 (** Algorithm 1 ([config] defaults to the paper's behaviour; the other
@@ -56,6 +63,7 @@ val multi_source :
   ?seed:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Multi_source.state array
 (** [source_order] defaults to the paper's min-source rule; the random
@@ -101,6 +109,7 @@ val flooding :
   ?max_rounds:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Flooding.state array
 (** Phased flooding against an oblivious schedule. *)

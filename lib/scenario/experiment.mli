@@ -1,0 +1,36 @@
+(** E17 — a real-format workload through the full pipeline.
+
+    The experiments in {!Analysis.Experiments} all run against
+    synthetic adversary families.  E17 closes the loop on the scenario
+    subsystem: a contact-sequence CSV (the interchange format of real
+    dynamic-network datasets) is imported with {!Contacts.import},
+    replayed as a committed schedule with {!Replay.schedule} (looping,
+    as contact data is finite), and three algorithms from the paper run
+    on the identical workload — phased flooding, Multi-Source-Unicast
+    (Theorem 3.6), and Algorithm 2 ([force_rw]).
+
+    The instance is a moderate multi-source regime ([k = n], four
+    sources): with many more sources the deterministic min-source
+    request rule can limit-cycle against a {e periodic} schedule (the
+    loop makes the environment periodic, a corner the synthetic
+    families never hit), so the comparison runs where all three
+    algorithms complete.  Shape check (stated in the table notes): every
+    algorithm completes on the looped trace, flooding needs the fewest
+    rounds (it is the time-optimal yardstick of Section 1.2), and
+    Algorithm 2 spends fewer messages than plain Multi-Source-Unicast
+    (the message-optimality direction of Theorem 3.8). *)
+
+val sample_contacts : string
+(** The embedded workload: one working morning of office
+    badge-proximity contacts, [t,u,v,duration] at 20-second
+    resolution, with the normalization cases real files exhibit
+    (label gaps, duplicates, a self-loop, an out-of-order row, two
+    sparse windows that need connectivity repair).  Byte-identical to
+    [examples/traces/office_contacts.csv].  *)
+
+val real_trace :
+  ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Analysis.Table.t
+(** Import {!sample_contacts}, run the three algorithms, and render
+    the comparison; the notes carry the importer's honesty counters
+    (dropped self-loops, collapsed duplicates, repaired edges).  With
+    [?metrics], wall-clock lands in ["experiment/e17-real-trace"]. *)

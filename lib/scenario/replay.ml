@@ -1,0 +1,42 @@
+open Dynet.Ops
+
+type past_end = Hold | Loop | Fail
+
+let schedule ?(past_end = Hold) (trace : Trace_io.t) =
+  let r_max = Trace_io.rounds trace in
+  if r_max = 0 then invalid_arg "Replay.schedule: trace has zero rounds";
+  let n = trace.Trace_io.header.Trace_io.n in
+  (* The schedule's Markov rule reconstructs round r from round r - 1's
+     graph and delta r; the base cycle is kept so Loop can wrap without
+     replaying (Schedule memoizes every produced graph anyway). *)
+  let cycle = Array.make r_max None in
+  let build r prev =
+    let edges =
+      Trace_io.apply_delta ~n ~round:r
+        (Dynet.Graph.edges prev)
+        trace.Trace_io.deltas.(r - 1)
+    in
+    let g = Dynet.Graph.make ~n edges in
+    cycle.(r - 1) <- Some g;
+    g
+  in
+  let get_cycle r =
+    match cycle.(r - 1) with
+    | Some g -> g
+    | None ->
+        (* Unreachable through Schedule (rounds are produced in order),
+           kept total for safety. *)
+        invalid_arg (Printf.sprintf "Replay: round %d not yet built" r)
+  in
+  Adversary.Schedule.iterate ~n
+    ~init:(fun () -> build 1 (Dynet.Graph.empty ~n))
+    (fun r prev ->
+      if r <= r_max then build r prev
+      else
+        match past_end with
+        | Hold -> prev
+        | Loop -> get_cycle (((r - 1) mod r_max) + 1)
+        | Fail ->
+            invalid_arg
+              (Printf.sprintf
+                 "Replay: round %d is beyond the %d recorded rounds" r r_max))

@@ -1,0 +1,189 @@
+open Dynet.Ops
+
+let builtin_schedule ~env ~sigma ~n ~seed =
+  let stable s =
+    if sigma <= 1 then s else Adversary.Schedule.stabilized ~sigma s
+  in
+  match (env : Spec.env) with
+  | Trace _ | Request_cutter _ -> None
+  | Static { p } ->
+      Some
+        (Adversary.Oblivious.static
+           (Dynet.Graph_gen.random_connected (Dynet.Rng.make ~seed) ~n ~p))
+  | Tree_rotator -> Some (stable (Adversary.Oblivious.tree_rotator ~seed ~n))
+  | Rewiring { extra; rate } ->
+      Some
+        (stable
+           (Adversary.Oblivious.rewiring ~seed ~n
+              ~extra:(Option.value extra ~default:n)
+              ~rate))
+  | Edge_markovian { p_up; p_down } ->
+      Some
+        (stable
+           (Adversary.Oblivious.edge_markovian ~seed ~n
+              ~p_up:(Option.value p_up ~default:(2. /. float_of_int n))
+              ~p_down))
+  | Fresh_random { p } -> Some (Adversary.Oblivious.fresh_random ~seed ~n ~p)
+
+let resolve_trace ?(base_dir = ".") (spec : Spec.t) =
+  match spec.env with
+  | Spec.Trace { path } -> (
+      let full =
+        if Filename.is_relative path then Filename.concat base_dir path
+        else path
+      in
+      match Trace_io.load full with
+      | Error e -> Error e
+      | Ok trace -> (
+          match spec.n with
+          | Some n when n <> trace.Trace_io.header.n ->
+              Error
+                (Printf.sprintf
+                   "%s: spec says n = %d but the trace carries n = %d" full n
+                   trace.Trace_io.header.n)
+          | Some _ | None -> Ok (Some trace)))
+  | _ -> Ok None
+
+let fault_plan (spec : Spec.t) ~seed =
+  match spec.faults with
+  | None -> Faults.Plan.none
+  | Some f ->
+      Faults.Plan.make ~loss:f.loss ~dup:f.dup ~crash:f.crash
+        ~restart:f.restart ~max_delay:f.max_delay
+        ~seed:(Option.value f.fault_seed ~default:seed)
+        ()
+
+(* Instance construction mirrors the [dynspread run] command: source 0
+   for the single-source shape, a seeded random assignment otherwise. *)
+let instance_of (spec : Spec.t) ~n ~seed =
+  match spec.algorithm with
+  | Spec.Single_source -> Gossip.Instance.single_source ~n ~k:spec.k ~source:0
+  | Spec.Flooding | Spec.Multi_source | Spec.Oblivious_rw ->
+      if spec.s <= 1 then
+        Gossip.Instance.single_source ~n ~k:spec.k ~source:0
+      else
+        Gossip.Instance.multi_source
+          ~rng:(Dynet.Rng.make ~seed:(seed + 1))
+          ~n ~k:spec.k
+          ~s:(min spec.s (min n spec.k))
+
+let base_extra (spec : Spec.t) ~n ~seed =
+  [
+    ("n", Obs.Json.Int n);
+    ("k", Obs.Json.Int spec.k);
+    ("s", Obs.Json.Int spec.s);
+    ("seed", Obs.Json.Int seed);
+  ]
+
+let engine_report (spec : Spec.t) ~name ~n ~seed
+    (result : Engine.Run_result.t) =
+  Engine.Run_result.to_report ~name
+    ~extra:
+      (base_extra spec ~n ~seed
+      @ [
+          ( "amortized_per_token",
+            Obs.Json.Float (Engine.Ledger.amortized result.ledger ~k:spec.k)
+          );
+        ])
+    result
+
+(* Algorithm 2 returns its own result record; wrap its merged ledger so
+   the report path is uniform (same shape as the CLI's rw report). *)
+let rw_report (spec : Spec.t) ~name ~n ~seed (r : Gossip.Oblivious_rw.result)
+    =
+  let as_run_result =
+    Engine.Run_result.make
+      ~rounds:
+        (r.Gossip.Oblivious_rw.phase1_rounds
+        + r.Gossip.Oblivious_rw.phase2_rounds)
+      ~completed:r.Gossip.Oblivious_rw.completed
+      ~ledger:r.Gossip.Oblivious_rw.ledger ~timeline:[] ()
+  in
+  Engine.Run_result.to_report ~name
+    ~extra:
+      (base_extra spec ~n ~seed
+      @ [
+          ("centers", Obs.Json.Int r.Gossip.Oblivious_rw.centers);
+          ( "skipped_phase1",
+            Obs.Json.Bool r.Gossip.Oblivious_rw.skipped_phase1 );
+          ("phase1_rounds", Obs.Json.Int r.Gossip.Oblivious_rw.phase1_rounds);
+          ( "phase1_settled",
+            Obs.Json.Bool r.Gossip.Oblivious_rw.phase1_settled );
+          ("phase2_rounds", Obs.Json.Int r.Gossip.Oblivious_rw.phase2_rounds);
+          ( "paper_messages",
+            Obs.Json.Int r.Gossip.Oblivious_rw.paper_messages );
+          ( "amortized_per_token",
+            Obs.Json.Float
+              (float_of_int r.Gossip.Oblivious_rw.paper_messages
+              /. float_of_int spec.k) );
+        ])
+    as_run_result
+
+let run_point (spec : Spec.t) ~trace ~n ~seed =
+  let name =
+    spec.name ^ "/" ^ Spec.algorithm_name spec.algorithm ^ "/seed="
+    ^ string_of_int seed
+  in
+  let faults = fault_plan spec ~seed in
+  let instance = instance_of spec ~n ~seed in
+  let schedule () =
+    match trace with
+    | Some t -> Replay.schedule ~past_end:Replay.Loop t
+    | None -> (
+        match builtin_schedule ~env:spec.env ~sigma:spec.sigma ~n ~seed with
+        | Some s -> s
+        | None ->
+            (* Validation rejects flooding/rw × request-cutter, and the
+               unicast algorithms route the cutter below. *)
+            invalid_arg "Scenario.Runner: no committed schedule for this env")
+  in
+  let unicast_env () =
+    match spec.env with
+    | Spec.Request_cutter { cut_prob } ->
+        Gossip.Runners.Request_cutting { seed; cut_prob }
+    | _ -> Gossip.Runners.Oblivious (schedule ())
+  in
+  match spec.algorithm with
+  | Spec.Flooding ->
+      let result, _ =
+        Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ~faults
+          ?max_rounds:spec.max_rounds ()
+      in
+      engine_report spec ~name ~n ~seed result
+  | Spec.Single_source ->
+      let result, _ =
+        Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ~faults
+          ?max_rounds:spec.max_rounds ()
+      in
+      engine_report spec ~name ~n ~seed result
+  | Spec.Multi_source ->
+      let result, _ =
+        Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ~faults
+          ?max_rounds:spec.max_rounds ()
+      in
+      engine_report spec ~name ~n ~seed result
+  | Spec.Oblivious_rw ->
+      let r =
+        Gossip.Runners.oblivious_rw ~instance ~schedule:(schedule ()) ~seed
+          ~const_f:0.05 ~force_rw:true ()
+      in
+      rw_report spec ~name ~n ~seed r
+
+let run ?jobs ?base_dir (spec : Spec.t) =
+  match resolve_trace ?base_dir spec with
+  | Error e -> Error e
+  | Ok trace -> (
+      let n =
+        match (spec.n, trace) with
+        | Some n, _ -> Some n
+        | None, Some t -> Some t.Trace_io.header.n
+        | None, None -> None
+      in
+      match n with
+      | None -> Error "spec has no n and no trace to take it from"
+      | Some n ->
+          let seeds = Array.init spec.repeats (fun i -> spec.seed + i) in
+          Ok
+            (Analysis.Sweep.map ?jobs
+               (fun seed -> run_point spec ~trace ~n ~seed)
+               seeds))

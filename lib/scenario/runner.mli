@@ -1,0 +1,52 @@
+(** Executing a validated {!Spec} — the scenario subsystem's engine room.
+
+    [run] turns one spec into one {!Obs.Report.t} per repeat:
+
+    - the environment is materialized once ([trace] envs load their
+      {!Trace_io.t} up front, relative paths resolving against
+      [base_dir]);
+    - repeat [i] derives every random stream from [spec.seed + i]
+      alone and builds its own fresh {!Adversary.Schedule.t}, so the
+      repeats are independent points and run through
+      {!Analysis.Sweep.map} ([?jobs]) with bit-identical output
+      whatever the parallelism;
+    - instance construction, fault-plan wiring, and per-algorithm
+      round caps mirror the [dynspread run] command exactly, so a
+      scenario file is a faithful replacement for a CLI invocation;
+    - each report is named [<name>/<algorithm>/seed=<seed+i>] — the
+      label depends only on the spec's name, algorithm, and seed,
+      never on how the environment is represented, so a run against a
+      built-in oblivious family and a run against its {!Record}ed
+      trace produce byte-identical JSON.
+
+    Trace environments replay with {!Replay.Loop} semantics: real
+    contact data is finite and bursty, and looping it is the standard
+    periodic-workload reading.  A recording that covers the full run
+    never reaches the loop, which is what the record→replay
+    reproducibility guarantee relies on. *)
+
+val builtin_schedule :
+  env:Spec.env -> sigma:int -> n:int -> seed:int ->
+  Adversary.Schedule.t option
+(** The committed schedule for a built-in oblivious env, with the same
+    family parameters and defaults as the CLI ([extra] defaults to
+    [n], [p_up] to [2/n]; [sigma > 1] wraps the family in
+    {!Adversary.Schedule.stabilized}).  [None] for the two
+    non-committed envs ([trace] — use {!Replay.schedule} — and the
+    adaptive [request-cutter]). *)
+
+val resolve_trace :
+  ?base_dir:string -> Spec.t -> (Trace_io.t option, string) result
+(** Load the spec's trace, if its env is one ([Ok None] otherwise).
+    Relative paths resolve against [base_dir] (default ["."] — pass
+    the spec file's directory).  Checks the trace against [spec.n]
+    when both are present. *)
+
+val run :
+  ?jobs:int -> ?base_dir:string -> Spec.t ->
+  (Obs.Report.t array, string) result
+(** Execute every repeat and return the run reports in repeat order.
+    [Error] covers environment problems surfaced at materialization
+    time (unreadable or invalid trace, node-count mismatch); protocol
+    or adversary violations during a run propagate as the engines'
+    usual exceptions. *)

@@ -16,7 +16,8 @@ type config = {
 
 let default_config =
   {
-    strict_poly = [ "lib/dynet/"; "lib/engine/"; "lib/gossip/" ];
+    strict_poly =
+      [ "lib/dynet/"; "lib/engine/"; "lib/gossip/"; "lib/scenario/" ];
     print_allowed = [ "lib/obs/"; "bin/"; "bench/" ];
     physeq_allowed = [ "lib/dynet/graph.ml"; "lib/dynet/stability.ml" ];
     mli_required = [ "lib/" ];

@@ -15,6 +15,7 @@ let () =
       ("weak-adversary", Test_weak.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("scenario", Test_scenario.suite);
       ("lint", Test_lint.suite);
       ("check", Test_check.suite);
     ]
