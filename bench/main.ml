@@ -12,7 +12,14 @@
    Pass --tables-only or --bechamel-only to run half of it.  Either
    way a machine-readable summary (micro-benchmark ns/run and, when
    the tables ran, per-experiment wall-clock) is written to
-   BENCH_results.json (override with --out FILE). *)
+   BENCH_results.json (override with --out FILE).
+
+   --compare BASELINE.json diffs the fresh summary against a committed
+   one (Analysis.Baseline) under --tolerance PCT and exits 1 on any
+   regression — the CI perf gate.  --profile-dir DIR re-runs the sweep
+   experiments (E1/E4/E7) with an active span profiler and writes one
+   Chrome trace-event file per experiment; the profiled pass is
+   separate so the timings in the summary stay unprofiled. *)
 
 open Bechamel
 open Toolkit
@@ -360,23 +367,94 @@ let write_results ~out ~bench_rows ~metrics =
     (fun () -> Obs.Json.to_channel oc json);
   Printf.printf "wrote %s\n" out
 
+(* {2 Profile artifacts: E1/E4/E7 under an active profiler} *)
+
+let profiled_experiments =
+  [
+    ("e1", fun ~jobs ~prof -> ignore (Analysis.Experiments.table1 ~jobs ~prof ~seed ()));
+    ("e4", fun ~jobs ~prof -> ignore (Analysis.Experiments.single_source ~jobs ~prof ~seed ()));
+    ("e7", fun ~jobs ~prof -> ignore (Analysis.Experiments.rw_scaling ~jobs ~prof ~seed ()));
+  ]
+
+let write_profiles ~jobs ~dir =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  List.iter
+    (fun (name, run) ->
+      let prof = Obs.Span.create () in
+      run ~jobs ~prof;
+      let path = Filename.concat dir (name ^ ".json") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Span.write prof oc Obs.Span.Chrome);
+      Printf.printf "wrote %s (%d spans)\n" path (Obs.Span.span_count prof))
+    profiled_experiments
+
+(* {2 Baseline compare (the CI perf gate)} *)
+
+let compare_against ~out ~baseline_path ~tolerance ~tables_ran ~bechamel_ran =
+  match (Analysis.Baseline.load baseline_path, Analysis.Baseline.load out) with
+  | Error e, _ | _, Error e ->
+      Obs.Console.error ("error: " ^ e);
+      exit 2
+  | Ok baseline, Ok current ->
+      (* Only gate on the sections that actually ran this invocation:
+         --tables-only must not flag every micro-benchmark as missing. *)
+      let baseline =
+        {
+          baseline with
+          Analysis.Baseline.benchmarks =
+            (if bechamel_ran then baseline.Analysis.Baseline.benchmarks
+             else []);
+          experiments =
+            (if tables_ran then baseline.Analysis.Baseline.experiments
+             else []);
+        }
+      in
+      (* Noise band: experiments under 50 ms and micro-benchmarks under
+         1 ms/run swing severalfold on a loaded machine; a percentage
+         gate on them is pure flakiness.  The interesting regressions
+         (E1/E4/E7 sweeps, the heavyweight protocol runs) all sit two
+         orders of magnitude above the floor. *)
+      let floor = function
+        | Analysis.Baseline.Benchmark -> 1e6 (* ns/run *)
+        | Analysis.Baseline.Experiment -> 0.05 (* seconds *)
+      in
+      let c =
+        Analysis.Baseline.diff ~floor ~tolerance_pct:tolerance ~baseline
+          ~current ()
+      in
+      List.iter print_endline (Analysis.Baseline.render c);
+      if Analysis.Baseline.regressed c then exit 1
+
 let usage () =
   Obs.Console.lines
     [
       "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] [--out \
        FILE]";
+      "                [--compare BASELINE.json] [--tolerance PCT] \
+       [--profile-dir DIR]";
       "  --tables-only    only the paper tables (Part 1)";
       "  --bechamel-only  only the micro-benchmarks (Part 2)";
       "  --jobs N         domains for the experiment sweeps (default: \
        recommended domain count); tables are bit-identical for every N";
       "  --out FILE       JSON summary path (default BENCH_results.json)";
+      "  --compare FILE   diff this run's summary against the baseline \
+       summary FILE; exit 1 on regression";
+      "  --tolerance PCT  regression threshold for --compare, in percent \
+       (default 25)";
+      "  --profile-dir D  additionally run E1/E4/E7 with the span profiler \
+       on and write D/e1.json, D/e4.json, D/e7.json Chrome traces";
     ]
 
 let () =
   let tables_only = ref false
   and bechamel_only = ref false
   and jobs = ref (Analysis.Sweep.recommended_jobs ())
-  and out = ref "BENCH_results.json" in
+  and out = ref "BENCH_results.json"
+  and compare_to = ref None
+  and tolerance = ref 25.
+  and profile_dir = ref None in
   let rec parse = function
     | [] -> ()
     | "--tables-only" :: rest ->
@@ -405,6 +483,35 @@ let () =
         Obs.Console.error "error: --out needs a file argument";
         usage ();
         exit 2
+    | "--compare" :: file :: rest ->
+        compare_to := Some file;
+        parse rest
+    | [ "--compare" ] ->
+        Obs.Console.error "error: --compare needs a baseline file argument";
+        usage ();
+        exit 2
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when Float.is_finite t && t >= 0. ->
+            tolerance := t;
+            parse rest
+        | Some _ | None ->
+            Obs.Console.error
+              (Printf.sprintf
+                 "error: --tolerance needs a percentage >= 0, got %S" v);
+            usage ();
+            exit 2)
+    | [ "--tolerance" ] ->
+        Obs.Console.error "error: --tolerance needs a percentage argument";
+        usage ();
+        exit 2
+    | "--profile-dir" :: dir :: rest ->
+        profile_dir := Some dir;
+        parse rest
+    | [ "--profile-dir" ] ->
+        Obs.Console.error "error: --profile-dir needs a directory argument";
+        usage ();
+        exit 2
     | arg :: _ ->
         Obs.Console.error (Printf.sprintf "error: unknown argument %S" arg);
         usage ();
@@ -421,4 +528,12 @@ let () =
   | Some m -> run_tables ~jobs:!jobs ~metrics:m ()
   | None -> ());
   let bench_rows = if !tables_only then [] else run_bechamel () in
-  write_results ~out:!out ~bench_rows ~metrics
+  write_results ~out:!out ~bench_rows ~metrics;
+  (match !profile_dir with
+  | Some dir -> write_profiles ~jobs:!jobs ~dir
+  | None -> ());
+  match !compare_to with
+  | Some baseline_path ->
+      compare_against ~out:!out ~baseline_path ~tolerance:!tolerance
+        ~tables_ran:(not !bechamel_only) ~bechamel_ran:(not !tables_only)
+  | None -> ()

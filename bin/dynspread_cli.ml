@@ -183,7 +183,9 @@ let fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed =
     ~seed:(Option.value fault_seed ~default:seed)
     ()
 
-(* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise. *)
+(* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise.
+   [Obs.Sink.close] drains the sink's line buffer before the channel
+   goes away, so an abnormal exit never leaves a torn trailing line. *)
 let with_trace trace f =
   match trace with
   | None -> f Obs.Sink.null
@@ -192,9 +194,45 @@ let with_trace trace f =
       | exception Sys_error msg ->
           `Error (false, "cannot open trace file: " ^ msg)
       | oc ->
+          let sink = Obs.Sink.jsonl oc in
           Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () -> f (Obs.Sink.Jsonl oc)))
+            ~finally:(fun () ->
+              Obs.Sink.close sink;
+              close_out oc)
+            (fun () -> f sink))
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write a hierarchical span profile (round/phase spans, sweep \
+           worker lanes) to $(docv). A $(b,.json) path gets Chrome \
+           trace-event JSON (load it in Perfetto or chrome://tracing); a \
+           $(b,.folded) or $(b,.txt) path gets folded stacks for flame-graph \
+           tools.")
+
+(* Run [f] with an active profiler on --profile FILE, the null profiler
+   otherwise.  The profile is written in the [finally], so a run aborted
+   by an engine violation still leaves a loadable file covering the
+   rounds that did execute. *)
+let with_profile profile f =
+  match profile with
+  | None -> f Obs.Span.null
+  | Some path ->
+      let prof = Obs.Span.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          match open_out path with
+          | exception Sys_error msg ->
+              Obs.Console.error ("cannot open profile file: " ^ msg)
+          | oc ->
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  Obs.Span.write prof oc (Obs.Span.format_of_path path)))
+        (fun () -> f prof)
 
 (* {2 run} *)
 
@@ -363,7 +401,7 @@ let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
 let run_cmd =
   let doc = "Run one protocol in one environment and print the cost ledger." in
   let run protocol env n k s sigma seed loss dup crash restart max_delay
-      fault_seed reliable timeline trace json check =
+      fault_seed reliable timeline trace profile json check =
     Check.set_enabled check;
     let faults =
       fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed
@@ -371,6 +409,7 @@ let run_cmd =
     let faulty = not (Faults.Plan.is_none faults) in
     let name = protocol_name protocol ^ "/" ^ env_name env in
     with_trace trace @@ fun obs ->
+    with_profile profile @@ fun prof ->
     let instance =
       match protocol with
       | Single -> Gossip.Instance.single_source ~n ~k ~source:0
@@ -386,22 +425,24 @@ let run_cmd =
       | Single, true ->
           let result, _, rt =
             Gossip.Runners.reliable_single_source ~instance ~env:envv ~faults
-              ~obs ()
+              ~obs ~prof ()
           in
           (result, Some rt)
       | Single, false ->
           ( fst
-              (Gossip.Runners.single_source ~instance ~env:envv ~faults ~obs ()),
+              (Gossip.Runners.single_source ~instance ~env:envv ~faults ~obs
+                 ~prof ()),
             None )
       | (Multi | Flooding | Rw), true ->
           let result, _, rt =
             Gossip.Runners.reliable_multi_source ~instance ~env:envv ~faults
-              ~obs ()
+              ~obs ~prof ()
           in
           (result, Some rt)
       | (Multi | Flooding | Rw), false ->
           ( fst
-              (Gossip.Runners.multi_source ~instance ~env:envv ~faults ~obs ()),
+              (Gossip.Runners.multi_source ~instance ~env:envv ~faults ~obs
+                 ~prof ()),
             None )
     in
     match (protocol, env) with
@@ -428,7 +469,7 @@ let run_cmd =
         `Ok ()
     | Flooding, Env_lb ->
         let result, _, lb =
-          Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ~obs ()
+          Gossip.Runners.flooding_vs_lower_bound ~instance ~seed ~obs ~prof ()
         in
         report_run ~timeline ~json ~name ~n ~k result;
         if not json then begin
@@ -451,7 +492,8 @@ let run_cmd =
             match protocol with
             | Flooding ->
                 let result, _ =
-                  Gossip.Runners.flooding ~instance ~schedule ~faults ~obs ()
+                  Gossip.Runners.flooding ~instance ~schedule ~faults ~obs
+                    ~prof ()
                 in
                 report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
@@ -464,7 +506,7 @@ let run_cmd =
             | Rw ->
                 let r =
                   Gossip.Runners.oblivious_rw ~instance ~schedule ~seed
-                    ~const_f:0.05 ~force_rw:true ~obs ()
+                    ~const_f:0.05 ~force_rw:true ~obs ~prof ()
                 in
                 if json then print_json_report (rw_report ~name ~k r)
                 else begin
@@ -489,7 +531,7 @@ let run_cmd =
         (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
         $ sigma_arg $ seed_arg $ loss_arg $ dup_arg $ crash_arg $ restart_arg
         $ max_delay_arg $ fault_seed_arg $ reliable_arg $ timeline_arg
-        $ trace_arg $ json_arg $ check_arg))
+        $ trace_arg $ profile_arg $ json_arg $ check_arg))
 
 (* {2 experiments} *)
 
@@ -521,21 +563,22 @@ let experiments_cmd =
           ~doc:
             "Experiment ids (e0 e1 ... e17); default: all.")
   in
-  let run ids csv seed jobs timings check =
+  let run ids csv seed jobs timings profile check =
     Check.set_enabled check;
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
     let selected = if ids = [] then List.map snd experiment_names else ids in
+    with_profile profile @@ fun prof ->
     List.iter
       (fun id ->
         let table =
           match id with
           | `E0 -> Analysis.Experiments.environments ?metrics ~seed ()
-          | `E1 -> Analysis.Experiments.table1 ~jobs ?metrics ~seed ()
+          | `E1 -> Analysis.Experiments.table1 ~jobs ?metrics ~prof ~seed ()
           | `E2 -> Analysis.Experiments.lower_bound ?metrics ~seed ()
           | `E3 -> Analysis.Experiments.free_edges ?metrics ~seed ()
-          | `E4 -> Analysis.Experiments.single_source ~jobs ?metrics ~seed ()
+          | `E4 -> Analysis.Experiments.single_source ~jobs ?metrics ~prof ~seed ()
           | `E6 -> Analysis.Experiments.multi_source ?metrics ~seed ()
-          | `E7 -> Analysis.Experiments.rw_scaling ~jobs ?metrics ~seed ()
+          | `E7 -> Analysis.Experiments.rw_scaling ~jobs ?metrics ~prof ~seed ()
           | `E8 -> Analysis.Experiments.static_baseline ?metrics ~seed ()
           | `E9 -> Analysis.Experiments.time_vs_messages ?metrics ~seed ()
           | `E10 -> Analysis.Experiments.ablation ?metrics ~seed ()
@@ -566,7 +609,7 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc)
     Term.(
       const run $ which $ csv_arg $ seed_arg $ jobs_arg $ timings_arg
-      $ check_arg)
+      $ profile_arg $ check_arg)
 
 (* {2 focused shortcuts} *)
 
@@ -775,11 +818,12 @@ let scenario_run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"SPEC" ~doc:"Scenario spec file (JSON).")
   in
-  let run path jobs check =
+  let run path jobs profile check =
     Check.set_enabled check;
     let spec = load_spec path in
+    with_profile profile @@ fun prof ->
     match
-      Scenario.Runner.run ~jobs ~base_dir:(Filename.dirname path) spec
+      Scenario.Runner.run ~jobs ~base_dir:(Filename.dirname path) ~prof spec
     with
     | Error e ->
         Obs.Console.error ("error: " ^ e);
@@ -791,7 +835,7 @@ let scenario_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ spec_pos $ jobs_arg $ check_arg)
+    Term.(const run $ spec_pos $ jobs_arg $ profile_arg $ check_arg)
 
 let scenario_record_cmd =
   let doc =

@@ -1,0 +1,69 @@
+(** Perf-regression baseline: parse and diff the bench harness's
+    [dynspread-bench/v1] JSON summaries.
+
+    The bench harness ([bench/main.exe]) writes a summary with one
+    [ns_per_run] row per micro-benchmark and one [seconds] row per
+    experiment; the repository commits one such file
+    ([BENCH_results.json]) as the perf baseline.  [diff] compares a
+    fresh summary against it under a symmetric percentage tolerance —
+    both sections are time-like, so {e bigger is worse} — and
+    [regressed] is the CI gate: any entry above tolerance, or any
+    baseline entry missing from the current run (a vanished benchmark
+    must not read as a pass), fails the build.  Entries whose
+    [ns_per_run] is [null] (Bechamel produced no estimate) are skipped
+    on both sides. *)
+
+val schema_name : string
+(** ["dynspread-bench/v1"]. *)
+
+type entry = { name : string; value : float }
+(** One row: [ns_per_run] for benchmarks, [seconds] for experiments. *)
+
+type t = { seed : int; benchmarks : entry list; experiments : entry list }
+
+type kind = Benchmark | Experiment
+
+val kind_name : kind -> string
+
+type delta = {
+  kind : kind;
+  entry_name : string;
+  baseline : float;
+  current : float;
+  pct : float;  (** [(current - baseline) / baseline * 100]. *)
+}
+
+type comparison = {
+  tolerance_pct : float;
+  regressions : delta list;  (** Slower than baseline beyond tolerance. *)
+  improvements : delta list;  (** Faster than baseline beyond tolerance. *)
+  within : int;  (** Entries inside the tolerance band. *)
+  missing : (kind * string) list;
+      (** In the baseline but absent from the current run. *)
+}
+
+val of_json : Obs.Json.t -> (t, string) result
+val load : string -> (t, string) result
+
+val diff :
+  ?floor:(kind -> float) ->
+  tolerance_pct:float ->
+  baseline:t ->
+  current:t ->
+  unit ->
+  comparison
+(** Match entries by name within each section; a zero-valued baseline
+    entry counts as within tolerance (no meaningful percentage).
+    [floor] (default: constant 0) gives a per-kind noise band: entries
+    whose baseline {e and} current values are both under the floor are
+    within tolerance no matter the percentage — millisecond-scale
+    experiments swing severalfold from scheduler noise, and a pure
+    percentage rule on them makes the gate flaky. *)
+
+val regressed : comparison -> bool
+(** True if anything regressed or went missing — the nonzero-exit
+    condition. *)
+
+val render : comparison -> string list
+(** Human-readable report, one line per finding after a summary
+    header. *)

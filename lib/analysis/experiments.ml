@@ -14,7 +14,7 @@ let timed ?metrics id body = Obs.Timer.observe_span ?metrics ~name:id body
 
 (* {2 E1 — Table 1} *)
 
-let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ~seed () =
+let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ?prof ~seed () =
   timed ?metrics "experiment/e1-table1" @@ fun () ->
   (* Each (n, regime) cell of Table 1 is a self-contained point: all
      its RNG streams derive from (seed, n, k), so points can run on
@@ -29,7 +29,7 @@ let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ~seed () =
       ns
     |> Array.of_list
   in
-  let run_point (n, (row : Gossip.Bounds.table1_row)) =
+  let run_point ~prof (n, (row : Gossip.Bounds.table1_row)) =
     let k = row.k_of_n ~n in
     let s = min n k in
     let rng = Dynet.Rng.make ~seed:(seed + n + k) in
@@ -37,14 +37,14 @@ let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ~seed () =
     let schedule = dense_schedule ~seed:(seed + (3 * n) + k) ~n in
     let rw =
       Gossip.Runners.oblivious_rw ~instance ~schedule
-        ~seed:(seed + (7 * n) + k) ~const_f:0.02 ~force_rw:true ()
+        ~seed:(seed + (7 * n) + k) ~const_f:0.02 ~force_rw:true ~prof ()
     in
     let ms_result, _ =
       Gossip.Runners.multi_source ~instance
         ~env:
           (Gossip.Runners.Oblivious
              (dense_schedule ~seed:(seed + (11 * n) + k) ~n))
-        ()
+        ~prof ()
     in
     let rw_amortized =
       float_of_int rw.Gossip.Oblivious_rw.paper_messages /. float_of_int k
@@ -65,7 +65,8 @@ let table1 ?(ns = [ 24; 32 ]) ?jobs ?metrics ~seed () =
       ] )
   in
   let results =
-    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e1-point" run_point points
+    Sweep.map_span ?jobs ?metrics ?prof ~name:"sweep/e1-point" run_point
+      points
   in
   let wins = ref 0 and cases = ref 0 in
   let rows = ref [] in
@@ -271,7 +272,7 @@ let single_source_envs ~seed ~n =
       false );
   ]
 
-let single_source ?(ns = [ 16; 24; 32 ]) ?jobs ?metrics ~seed () =
+let single_source ?(ns = [ 16; 24; 32 ]) ?jobs ?metrics ?prof ~seed () =
   timed ?metrics "experiment/e4-single-source" @@ fun () ->
   let env_count = List.length (single_source_envs ~seed ~n:2) in
   let points =
@@ -283,11 +284,11 @@ let single_source ?(ns = [ 16; 24; 32 ]) ?jobs ?metrics ~seed () =
       ns
     |> Array.of_list
   in
-  let run_point (n, k, i) =
+  let run_point ~prof (n, k, i) =
     let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
     let budget = Gossip.Bounds.single_source_budget ~n ~k in
     let env_name, env, is_stable = List.nth (single_source_envs ~seed ~n) i in
-    let result, _ = Gossip.Runners.single_source ~instance ~env () in
+    let result, _ = Gossip.Runners.single_source ~instance ~env ~prof () in
     let ledger = result.Engine.Run_result.ledger in
     let competitive = Engine.Ledger.competitive_cost ledger ~alpha:1. in
     let ratio = competitive /. budget in
@@ -309,7 +310,8 @@ let single_source ?(ns = [ 16; 24; 32 ]) ?jobs ?metrics ~seed () =
       ] )
   in
   let results =
-    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e4-point" run_point points
+    Sweep.map_span ?jobs ?metrics ?prof ~name:"sweep/e4-point" run_point
+      points
   in
   let rows = ref [] in
   let within_budget = ref true and within_rounds = ref true in
@@ -402,7 +404,7 @@ let multi_source ?(n = 24) ?(k = 96) ?(ss = [ 1; 2; 4; 8; 16; 24 ]) ?metrics
 (* {2 E7 — Theorem 3.8 scaling} *)
 
 let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?jobs ?metrics
-    ~seed () =
+    ?prof ~seed () =
   timed ?metrics "experiment/e7-rw-scaling" @@ fun () ->
   let replicates = 4 in
   (* Points are (k, replicate): each Algorithm-2 run seeds from its own
@@ -413,7 +415,7 @@ let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?jobs ?metrics
       ks
     |> Array.of_list
   in
-  let run_point (k, rep) =
+  let run_point ~prof (k, rep) =
     let s = min n k in
     let salt = (rep * 7919) + k in
     let rng = Dynet.Rng.make ~seed:(seed + salt) in
@@ -421,7 +423,7 @@ let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?jobs ?metrics
     let schedule = dense_schedule ~seed:(seed + (2 * salt)) ~n in
     let r =
       Gossip.Runners.oblivious_rw ~instance ~schedule ~seed:(seed + (3 * salt))
-        ~const_f:0.02 ~force_rw:true ()
+        ~const_f:0.02 ~force_rw:true ~prof ()
     in
     let ledger = r.Gossip.Oblivious_rw.ledger in
     let count cls = float_of_int (Engine.Ledger.count ledger cls) in
@@ -432,7 +434,8 @@ let rw_scaling ?(n = 32) ?(ks = [ 32; 64; 128; 256; 512 ]) ?jobs ?metrics
       count Engine.Msg_class.Walk )
   in
   let results =
-    Sweep.map_timed ?jobs ?metrics ~name:"sweep/e7-point" run_point points
+    Sweep.map_span ?jobs ?metrics ?prof ~name:"sweep/e7-point" run_point
+      points
   in
   let rows = ref [] in
   let announce_pts = ref []
@@ -1303,15 +1306,15 @@ let robustness_crash ?(n = 16) ?(k = 16)
       ]
     (List.rev !rows)
 
-let all ?jobs ?metrics ~seed () =
+let all ?jobs ?metrics ?prof ~seed () =
   [
     environments ?metrics ~seed ();
-    table1 ?jobs ?metrics ~seed ();
+    table1 ?jobs ?metrics ?prof ~seed ();
     lower_bound ?metrics ~seed ();
     free_edges ?metrics ~seed ();
-    single_source ?jobs ?metrics ~seed ();
+    single_source ?jobs ?metrics ?prof ~seed ();
     multi_source ?metrics ~seed ();
-    rw_scaling ?jobs ?metrics ~seed ();
+    rw_scaling ?jobs ?metrics ?prof ~seed ();
     static_baseline ?metrics ~seed ();
     time_vs_messages ?metrics ~seed ();
     ablation ?metrics ~seed ();

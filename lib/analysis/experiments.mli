@@ -24,8 +24,8 @@
     ["sweep/<id>-point"] histogram. *)
 
 val table1 :
-  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit ->
-  Table.t
+  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> ?prof:Obs.Span.t ->
+  seed:int -> unit -> Table.t
 (** E1 — Table 1: amortized message complexity of Algorithm 2 across
     the paper's four k-regimes, vs. plain Multi-Source-Unicast and the
     paper's closed-form bound.  Sources: every node ([s = n], the
@@ -41,8 +41,8 @@ val free_edges : ?n:int -> ?trials:int -> ?metrics:Obs.Metrics.t -> seed:int -> 
     as a function of the number of broadcasting nodes. *)
 
 val single_source :
-  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit ->
-  Table.t
+  ?ns:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> ?prof:Obs.Span.t ->
+  seed:int -> unit -> Table.t
 (** E4+E5 — Theorems 3.1/3.4: Single-Source-Unicast messages vs the
     O(n² + nk) + TC budget and rounds vs the O(nk) bound, across
     environments including the adaptive request-cutter. *)
@@ -52,8 +52,8 @@ val multi_source : ?n:int -> ?k:int -> ?ss:int list -> ?metrics:Obs.Metrics.t ->
     TC budget as the source count grows. *)
 
 val rw_scaling :
-  ?n:int -> ?ks:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int ->
-  unit -> Table.t
+  ?n:int -> ?ks:int list -> ?jobs:int -> ?metrics:Obs.Metrics.t ->
+  ?prof:Obs.Span.t -> seed:int -> unit -> Table.t
 (** E7 — Theorem 3.8: total and amortized messages of Algorithm 2 as k
     grows at fixed n; reports the measured log-log growth exponents
     against the paper's 1/4 (total) and −3/4 (amortized). *)
@@ -125,6 +125,8 @@ val robustness_crash :
     round/message inflation — and at worst a graceful [Partial] or
     [Aborted] verdict — never wrong answers. *)
 
-val all : ?jobs:int -> ?metrics:Obs.Metrics.t -> seed:int -> unit -> Table.t list
-(** Every experiment at its default size, in index order; [?jobs] is
-    forwarded to the sweep-parallel ones (E1, E4, E7). *)
+val all :
+  ?jobs:int -> ?metrics:Obs.Metrics.t -> ?prof:Obs.Span.t -> seed:int ->
+  unit -> Table.t list
+(** Every experiment at its default size, in index order; [?jobs] and
+    [?prof] are forwarded to the sweep-parallel ones (E1, E4, E7). *)

@@ -42,3 +42,21 @@ val map_timed :
     [metrics] under histogram [name] only after the domains have
     joined, in input order — the registry is touched by the calling
     domain alone, and the sample order is schedule-independent. *)
+
+val map_span :
+  ?jobs:int -> ?metrics:Obs.Metrics.t -> ?prof:Obs.Span.t -> name:string ->
+  (prof:Obs.Span.t -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_timed] plus hierarchical profiling: the whole sweep runs
+    inside a [sweep:<name>] span on [prof], each point runs inside a
+    [point]-category span named [name], and each point receives the
+    profiler lane of the domain executing it as [~prof] (so engine
+    round/phase spans recorded inside the point land in the right
+    lane).  Helper domains get fresh {!Obs.Span.worker} lanes
+    ([sweep-w1], [sweep-w2], …) absorbed back after the join; the
+    calling domain records into [prof] itself.  The sweep span carries
+    per-worker busy-seconds counters ([busy_s_w0], …) and an
+    [imbalance] counter ([(max - min) / max] of worker busy times).
+    With the default null profiler this is exactly [map_timed].
+    Results, error propagation, and metrics recording keep the [map]
+    contract: input order, lowest-index failure, registry touched only
+    by the calling domain after the join. *)

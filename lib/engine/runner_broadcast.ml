@@ -22,7 +22,7 @@ type ('state, 'msg) adversary =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?on_graph ?target_progress ~(states : s array)
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ~(states : s array)
     ~(adversary : (s, m) adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
@@ -31,6 +31,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   (* Hoisted so the default Null sink costs one boolean test per
      emission site and never allocates an event. *)
   let tracing = not (Obs.Sink.is_null obs) in
+  (* Hoisted like [tracing]: with the default null profiler every
+     span site below is one boolean test, nothing more. *)
+  let profiling = not (Obs.Span.is_null prof) in
   (* Hoisted fault-layer activity test: with [Faults.Plan.none] the
      round loop below is the pre-fault-layer code path. *)
   let frun = Faults.Plan.start faults ~n in
@@ -69,16 +72,23 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
+    if profiling then begin
+      Obs.Span.enter prof ~cat:"round" "round";
+      Obs.Span.add_counter prof "round" (float_of_int r)
+    end;
     if faulty then begin
+      if profiling then Obs.Span.enter prof ~cat:"phase" "faults";
       Faults.Plan.begin_round frun ~round:r
         ~on_crash:(fun v -> emit_fault ~round:r ~kind:"crash" ~node:v ())
         ~on_restart:(fun v ->
           states.(v) <- initial.(v);
           emit_fault ~round:r ~kind:"restart" ~node:v ());
       if Faults.Plan.doomed frun then
-        aborted := Some "all nodes crashed with no possible restart"
+        aborted := Some "all nodes crashed with no possible restart";
+      if profiling then Obs.Span.leave prof
     end;
     if Option.is_none !aborted then begin
+      if profiling then Obs.Span.enter prof ~cat:"phase" "intent";
       let intents =
         Array.map
           (fun _ -> (None : m option))
@@ -92,7 +102,15 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
           intents.(v) <- m
         end
       done;
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "adversary"
+      end;
       let g = adversary ~round:r ~prev:!prev ~states ~intents in
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "graph"
+      end;
       Engine_error.check_graph ~round:r ~n g;
       (* Recorder hook: see Runner_unicast — the committed round graph,
          once per round, for realized-schedule capture. *)
@@ -108,6 +126,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                removed = Ledger.removals ledger - rm0;
              });
       Ledger.note_round ledger;
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "send"
+      end;
       Array.iteri
         (fun v intent ->
           match intent with
@@ -127,6 +149,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                        cls = Msg_class.to_string cls;
                      }))
         intents;
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "deliver"
+      end;
       let inboxes =
         if not faulty then
           Array.init n (fun v ->
@@ -219,6 +245,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
           inboxes
         end
       in
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "receive"
+      end;
       for v = 0 to n - 1 do
         if (not faulty) || Faults.Plan.alive frun v then begin
           if checking then
@@ -226,7 +256,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
           states.(v) <- P.receive states.(v) ~round:r ~inbox:inboxes.(v)
         end
       done;
+      if profiling then Obs.Span.leave prof;
       if checking then begin
+        if profiling then Obs.Span.enter prof ~cat:"phase" "check";
         Check.connected
           ~what:(Printf.sprintf "round %d: adversary graph connectivity" r)
           g;
@@ -234,7 +266,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
           (fun () -> Ledger.total ledger = !c_sent);
         Check.require ~what:"message-copy conservation" (fun () ->
             Check.conserved ~created:!c_created ~consumed:!c_consumed
-              ~dropped:!c_dropped ~in_flight:!c_inflight)
+              ~dropped:!c_dropped ~in_flight:!c_inflight);
+        if profiling then Obs.Span.leave prof
       end;
       let p = sum_progress () in
       Ledger.note_progress ledger p;
@@ -246,7 +279,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
       prev := g;
       completed := stop states
-    end
+    end;
+    if profiling then Obs.Span.leave prof
   done;
   if tracing then begin
     Obs.Sink.emit obs

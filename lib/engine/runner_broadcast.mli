@@ -45,6 +45,7 @@ val run :
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
   ?faults:Faults.Plan.t ->
+  ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   states:'s array ->
@@ -69,6 +70,14 @@ val run :
     one [Send] per charged broadcast ([dst = None]), and [Progress];
     finally [Run_end] and a sink flush.  Summing [Send] events gives
     [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
+
+    [prof] (default {!Obs.Span.null}: one hoisted boolean test per
+    site) records hierarchical profiling spans: one [round] span per
+    executed round with nested phase children — [faults] (when a plan
+    is active), [intent], [adversary], [graph] (validation, recorder
+    hook, and change accounting), [send], [deliver], [receive], and
+    [check] (when invariants are on) — each carrying wall-clock and
+    allocation; see {!Obs.Span}.
 
     [faults] (default {!Faults.Plan.none}, bit-identical to the
     pre-fault-layer engine) injects faults as in

@@ -43,7 +43,8 @@ let mem_sorted arr x =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?on_graph ?target_progress ~(states : s array) ~(adversary : s adversary)
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ~(states : s array)
+    ~(adversary : s adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
   let ledger = Ledger.create () in
@@ -51,6 +52,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   (* Hoisted so the default Null sink costs one boolean test per
      emission site and never allocates an event. *)
   let tracing = not (Obs.Sink.is_null obs) in
+  (* Hoisted like [tracing]: with the default null profiler every
+     span site below is one boolean test, nothing more. *)
+  let profiling = not (Obs.Span.is_null prof) in
   (* Same null-object pattern for the fault layer: with
      [Faults.Plan.none] every fault hook below is behind one hoisted
      boolean and the round loop is the pre-fault-layer code path. *)
@@ -99,17 +103,28 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
+    if profiling then begin
+      Obs.Span.enter prof ~cat:"round" "round";
+      Obs.Span.add_counter prof "round" (float_of_int r)
+    end;
     if faulty then begin
+      if profiling then Obs.Span.enter prof ~cat:"phase" "faults";
       Faults.Plan.begin_round frun ~round:r
         ~on_crash:(fun v -> emit_fault ~round:r ~kind:"crash" ~node:v ())
         ~on_restart:(fun v ->
           states.(v) <- initial.(v);
           emit_fault ~round:r ~kind:"restart" ~node:v ());
       if Faults.Plan.doomed frun then
-        aborted := Some "all nodes crashed with no possible restart"
+        aborted := Some "all nodes crashed with no possible restart";
+      if profiling then Obs.Span.leave prof
     end;
     if Option.is_none !aborted then begin
+      if profiling then Obs.Span.enter prof ~cat:"phase" "adversary";
       let g = adversary ~round:r ~prev:!prev ~states ~traffic:!traffic in
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "graph"
+      end;
       Engine_error.check_graph ~round:r ~n g;
       (* Recorder hook: the committed (validated) round graph, once per
          round — what a trace of this execution's realized schedule
@@ -126,6 +141,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
                removed = Ledger.removals ledger - rm0;
              });
       Ledger.note_round ledger;
+      if profiling then begin
+        Obs.Span.leave prof;
+        Obs.Span.enter prof ~cat:"phase" "send"
+      end;
       let inboxes = Array.make n [] in
       let round_traffic = ref [] in
       Dynet.Bitset.clear token_sent;
@@ -211,7 +230,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
             out
         end
       done;
+      if profiling then Obs.Span.leave prof;
       if faulty then begin
+        if profiling then Obs.Span.enter prof ~cat:"phase" "deliver";
         (* Messages whose bounded delay expires this round arrive now,
            after the on-time traffic (the sort below interleaves them
            into sender order). *)
@@ -238,8 +259,10 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               (List.rev inboxes.(v));
             inboxes.(v) <- []
           end
-        done
+        done;
+        if profiling then Obs.Span.leave prof
       end;
+      if profiling then Obs.Span.enter prof ~cat:"phase" "receive";
       for v = 0 to n - 1 do
         if (not faulty) || Faults.Plan.alive frun v then begin
           let inbox =
@@ -252,7 +275,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
               ~inbox
         end
       done;
+      if profiling then Obs.Span.leave prof;
       if checking then begin
+        if profiling then Obs.Span.enter prof ~cat:"phase" "check";
         Check.connected
           ~what:(Printf.sprintf "round %d: adversary graph connectivity" r)
           g;
@@ -260,7 +285,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
             Ledger.total ledger = !c_sent);
         Check.require ~what:"message-copy conservation" (fun () ->
             Check.conserved ~created:!c_created ~consumed:!c_consumed
-              ~dropped:!c_dropped ~in_flight:!c_inflight)
+              ~dropped:!c_dropped ~in_flight:!c_inflight);
+        if profiling then Obs.Span.leave prof
       end;
       let p = sum_progress () in
       Ledger.note_progress ledger p;
@@ -273,7 +299,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
       prev := g;
       traffic := List.rev !round_traffic;
       completed := stop states
-    end
+    end;
+    if profiling then Obs.Span.leave prof
   done;
   if tracing then begin
     Obs.Sink.emit obs

@@ -57,6 +57,7 @@ val run :
   ?init_prev:Dynet.Graph.t ->
   ?obs:Obs.Sink.t ->
   ?faults:Faults.Plan.t ->
+  ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   states:'s array ->
@@ -83,6 +84,15 @@ val run :
     one [Send] per unicast message (with its [dst]), and [Progress];
     finally [Run_end] and a sink flush.  Summing [Send] events gives
     [Ledger.total]; summing [Graph_change.added] gives [Ledger.tc].
+
+    [prof] (default {!Obs.Span.null}: one hoisted boolean test per
+    site) records hierarchical profiling spans: one [round] span per
+    executed round with nested phase children — [faults] (when a plan
+    is active), [adversary], [graph] (validation, recorder hook, and
+    change accounting), [send], [deliver] (the fault layer's delayed
+    and crash-time delivery work), [receive], and [check] (when
+    invariants are on) — each carrying wall-clock and allocation; see
+    {!Obs.Span}.
 
     [faults] (default {!Faults.Plan.none}: the clean model, with the
     round loop bit-identical to a build without the fault layer)

@@ -12,7 +12,8 @@ type result = {
 }
 
 let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
-    ?(force_rw = false) ?phase1_cap ?phase2_cap ?(obs = Obs.Sink.null) () =
+    ?(force_rw = false) ?phase1_cap ?phase2_cap ?(obs = Obs.Sink.null)
+    ?(prof = Obs.Span.null) () =
   let n = Instance.n instance in
   let k = Instance.k instance in
   let s = Instance.source_count instance in
@@ -29,8 +30,8 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
     let adversary ~round ~prev:_ ~states:_ ~traffic:_ =
       Adversary.Schedule.get schedule (round + offset)
     in
-    Engine.Runner_unicast.run Multi_source.protocol ?init_prev ~obs ~states
-      ~adversary ~max_rounds:cap
+    Engine.Runner_unicast.run Multi_source.protocol ?init_prev ~obs ~prof
+      ~states ~adversary ~max_rounds:cap
       ~stop:(Multi_source.all_complete ~k)
       ()
   in
@@ -39,7 +40,11 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
   in
   if below_threshold then begin
     emit_phase "multi-source" 0;
-    let res, _ = run_multi_source ~inst:instance ~offset:0 ~init_prev:None ~cap:phase2_cap in
+    let res, _ =
+      Obs.Span.with_span prof ~cat:"algo-phase" "multi-source" (fun () ->
+          run_multi_source ~inst:instance ~offset:0 ~init_prev:None
+            ~cap:phase2_cap)
+    in
     {
       centers = s;
       skipped_phase1 = true;
@@ -69,8 +74,9 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
     in
     emit_phase "random-walk" 0;
     let res1, states =
-      Engine.Runner_unicast.run Rw_phase.protocol ~obs ~states ~adversary
-        ~max_rounds:phase1_cap ~stop:Rw_phase.settled ()
+      Obs.Span.with_span prof ~cat:"algo-phase" "random-walk" (fun () ->
+          Engine.Runner_unicast.run Rw_phase.protocol ~obs ~prof ~states
+            ~adversary ~max_rounds:phase1_cap ~stop:Rw_phase.settled ())
     in
     let settled = res1.Engine.Run_result.completed in
     (* Hand off: every remaining holder (centers, plus stragglers if the
@@ -94,8 +100,9 @@ let run ~instance ~schedule ~seed ?(const_f = 1.0) ?(const_gamma = 1.0)
     in
     emit_phase "multi-source" res1.Engine.Run_result.rounds;
     let res2, _ =
-      run_multi_source ~inst:inst2 ~offset:res1.Engine.Run_result.rounds
-        ~init_prev:last_graph ~cap:phase2_cap
+      Obs.Span.with_span prof ~cat:"algo-phase" "multi-source" (fun () ->
+          run_multi_source ~inst:inst2 ~offset:res1.Engine.Run_result.rounds
+            ~init_prev:last_graph ~cap:phase2_cap)
     in
     let ledger =
       Engine.Ledger.merge res1.Engine.Run_result.ledger

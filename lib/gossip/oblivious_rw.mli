@@ -52,6 +52,7 @@ val run :
   ?phase1_cap:int ->
   ?phase2_cap:int ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   result
 (** [const_f] and [const_gamma] (default 1.0) scale [f] and [γ];
@@ -64,4 +65,9 @@ val run :
     phase ([{name = "random-walk"}], then [{name = "multi-source"}]
     carrying the phase-1 round count; a below-threshold run emits only
     the multi-source marker).  Each phase's engine trace restarts its
-    round numbering at 1 — the phase markers are the boundaries. *)
+    round numbering at 1 — the phase markers are the boundaries.
+
+    [prof] (default {!Obs.Span.null}) is likewise forwarded to both
+    engine runs; each phase's rounds additionally nest under an
+    [algo-phase]-category span named [random-walk] or
+    [multi-source]. *)

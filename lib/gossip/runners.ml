@@ -10,14 +10,15 @@ let unicast_adversary ~n = function
   | Request_cutting { seed; cut_prob } ->
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
-let single_source ~instance ~env ?max_rounds ?config ?faults ?obs ?on_graph
-    () =
+let single_source ~instance ~env ?max_rounds ?config ?faults ?obs ?prof
+    ?on_graph () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Single_source.init ?config ~instance () in
-  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults ?on_graph
+  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults ?prof
+    ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -25,13 +26,14 @@ let single_source ~instance ~env ?max_rounds ?config ?faults ?obs ?on_graph
     ()
 
 let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?faults ?obs
-    ?on_graph () =
+    ?prof ?on_graph () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
-  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults ?on_graph
+  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults ?prof
+    ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -65,7 +67,7 @@ let note_retransmits (result : Engine.Run_result.t) ~retransmits =
   result
 
 let reliable_single_source ~instance ~env ?max_rounds ?config ?rto ?backoff
-    ?faults ?obs () =
+    ?faults ?obs ?prof () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(2 * default_unicast_cap ~n ~k)
@@ -76,7 +78,7 @@ let reliable_single_source ~instance ~env ?max_rounds ?config ?rto ?backoff
       (Single_source.init ?config ~instance ())
   in
   let result, states =
-    Engine.Runner_unicast.run Reliable_single.protocol ?obs ?faults
+    Engine.Runner_unicast.run Reliable_single.protocol ?obs ?faults ?prof
       ~target_progress:(n * k) ~states
       ~adversary:(unicast_adversary ~n env)
       ~max_rounds
@@ -93,7 +95,7 @@ let reliable_single_source ~instance ~env ?max_rounds ?config ?rto ?backoff
     retransmits )
 
 let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
-    ?backoff ?faults ?obs () =
+    ?backoff ?faults ?obs ?prof () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(2 * default_unicast_cap ~n ~k)
@@ -104,7 +106,7 @@ let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
       (Multi_source.init ?source_order ?seed ~instance ())
   in
   let result, states =
-    Engine.Runner_unicast.run Reliable_multi.protocol ?obs ?faults
+    Engine.Runner_unicast.run Reliable_multi.protocol ?obs ?faults ?prof
       ~target_progress:(n * k) ~states
       ~adversary:(unicast_adversary ~n env)
       ~max_rounds
@@ -120,14 +122,14 @@ let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
     Array.map Reliable_multi.inner states,
     retransmits )
 
-let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs
+let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs ?prof
     ?on_graph () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Flooding.init ~instance ?phase_len () in
-  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults ?on_graph
+  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults ?prof ?on_graph
     ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds
@@ -140,7 +142,7 @@ let token_uid_of_msg = function
   | Payload.Center_announce ->
       None
 
-let flooding_vs_lower_bound ~instance ~seed ?max_rounds ?obs () =
+let flooding_vs_lower_bound ~instance ~seed ?max_rounds ?obs ?prof () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
@@ -154,14 +156,15 @@ let flooding_vs_lower_bound ~instance ~seed ?max_rounds ?obs () =
   in
   let states = Flooding.init ~instance () in
   let result, states =
-    Engine.Runner_broadcast.run Flooding.protocol ?obs ~states ~adversary
+    Engine.Runner_broadcast.run Flooding.protocol ?obs ?prof ~states
+      ~adversary
       ~max_rounds
       ~stop:(Flooding.all_complete ~k)
       ()
   in
   (result, states, lb)
 
-let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds ?obs () =
+let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds ?obs ?prof () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
@@ -175,43 +178,45 @@ let greedy_vs_lower_bound ~instance ~policy ~seed ?max_rounds ?obs () =
   in
   let states = Greedy_bcast.init ~instance ~policy ~seed () in
   let result, states =
-    Engine.Runner_broadcast.run Greedy_bcast.protocol ?obs ~states ~adversary
+    Engine.Runner_broadcast.run Greedy_bcast.protocol ?obs ?prof ~states
+      ~adversary
       ~max_rounds
       ~stop:(Greedy_bcast.all_complete ~k)
       ()
   in
   (result, states, lb)
 
-let random_push ~instance ~env ~seed ?max_rounds ?faults ?obs () =
+let random_push ~instance ~env ~seed ?max_rounds ?faults ?obs ?prof () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(4 * default_unicast_cap ~n ~k)
   in
   let states = Random_push.init ~instance ~seed in
-  Engine.Runner_unicast.run Random_push.protocol ?obs ?faults
+  Engine.Runner_unicast.run Random_push.protocol ?obs ?faults ?prof
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Random_push.all_complete ~k)
     ()
 
-let leader_election ~n ~env ?max_rounds ?faults ?obs () =
+let leader_election ~n ~env ?max_rounds ?faults ?obs ?prof () =
   let max_rounds = Option.value max_rounds ~default:((8 * n * n) + 64) in
   let states = Leader_election.init ~n in
-  Engine.Runner_unicast.run Leader_election.protocol ?obs ?faults
+  Engine.Runner_unicast.run Leader_election.protocol ?obs ?faults ?prof
     ~target_progress:n ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Leader_election.elected ~n)
     ()
 
-let coded_broadcast ~instance ~schedule ~seed ?max_rounds ?faults ?obs () =
+let coded_broadcast ~instance ~schedule ~seed ?max_rounds ?faults ?obs ?prof
+    () =
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Coded_bcast.init ~instance ~seed in
-  Engine.Runner_broadcast.run Coded_bcast.protocol ?obs ?faults
+  Engine.Runner_broadcast.run Coded_bcast.protocol ?obs ?faults ?prof
     ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds

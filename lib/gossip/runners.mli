@@ -11,6 +11,12 @@
     {!Obs.Sink.Memory} or {!Obs.Sink.Jsonl} to capture the per-round
     {!Obs.Trace} stream.
 
+    Every runner also forwards an optional [?prof] span profiler to
+    the engine (default {!Obs.Span.null}, costing one hoisted boolean
+    test); pass an {!Obs.Span.create}d profiler to capture
+    hierarchical round/phase spans — see the engine docs for the span
+    tree.
+
     Runners on the schedule-driven engines likewise forward an
     optional [?faults] plan (default {!Faults.Plan.none}, costing
     nothing): pass a {!Faults.Plan.make} to inject message loss /
@@ -48,6 +54,7 @@ val single_source :
   ?config:Single_source.config ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Single_source.state array
@@ -63,6 +70,7 @@ val multi_source :
   ?seed:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Multi_source.state array
@@ -78,6 +86,7 @@ val reliable_single_source :
   ?backoff:float ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Single_source.state array * int
 (** Algorithm 1 wrapped in {!Reliable.Make}: completes under message
@@ -97,6 +106,7 @@ val reliable_multi_source :
   ?backoff:float ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Multi_source.state array * int
 (** Multi-Source-Unicast wrapped in {!Reliable.Make}; see
@@ -109,6 +119,7 @@ val flooding :
   ?max_rounds:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   unit ->
   Engine.Run_result.t * Flooding.state array
@@ -119,6 +130,7 @@ val flooding_vs_lower_bound :
   seed:int ->
   ?max_rounds:int ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Flooding.state array * Adversary.Broadcast_lb.t
 (** Phased flooding against the Section-2 strongly adaptive adversary.
@@ -131,6 +143,7 @@ val greedy_vs_lower_bound :
   seed:int ->
   ?max_rounds:int ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Greedy_bcast.state array * Adversary.Broadcast_lb.t
 (** An unstructured broadcast heuristic against the same adversary.
@@ -144,6 +157,7 @@ val random_push :
   ?max_rounds:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Random_push.state array
 (** The unstructured push baseline (ablation: what the
@@ -155,6 +169,7 @@ val leader_election :
   ?max_rounds:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Leader_election.state array
 (** Max-id leader election under the adversary-competitive lens (the
@@ -168,6 +183,7 @@ val coded_broadcast :
   ?max_rounds:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Engine.Run_result.t * Coded_bcast.state array
 (** Network-coding gossip (not token-forwarding; see {!Coded_bcast}).
@@ -183,6 +199,7 @@ val oblivious_rw :
   ?phase1_cap:int ->
   ?phase2_cap:int ->
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Span.t ->
   unit ->
   Oblivious_rw.result
 (** Algorithm 2 (re-exported from {!Oblivious_rw.run}). *)

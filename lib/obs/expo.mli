@@ -1,0 +1,27 @@
+(** Prometheus text exposition for a {!Metrics} registry.
+
+    Renders the registry in the Prometheus text format (version
+    0.0.4), the groundwork for the eventual serve daemon's scrape
+    endpoint — and immediately useful for eyeballing a run's metrics
+    with standard tooling:
+
+    - counters become [<name>_total] with a [# TYPE .. counter] line;
+    - gauges are emitted as-is;
+    - histograms become summaries — [quantile="0.5"/"0.95"/"0.99"]
+      series plus [_sum] and [_count] (the registry stores raw
+      samples, not fixed buckets, so a summary is the faithful
+      rendering).
+
+    Metric names are sanitized to the Prometheus name grammar by
+    replacing every byte outside [[a-zA-Z0-9_:]] with an underscore (a
+    leading digit is also replaced); an optional [namespace] is
+    prefixed as
+    [<namespace>_].  Output order is deterministic: counters, gauges,
+    then summaries, each sorted by name. *)
+
+val to_buffer : ?namespace:string -> Buffer.t -> Metrics.t -> unit
+
+val to_string : ?namespace:string -> Metrics.t -> string
+
+val write : ?namespace:string -> out_channel -> Metrics.t -> unit
+(** Write the exposition to a channel.  Does not flush. *)

@@ -97,6 +97,13 @@ let sorted_fields of_value tbl =
   Hashtbl.fold (fun k v acc -> (k, of_value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let counters_list t = sorted_fields (fun n -> n) t.counters
+let gauges_list t = sorted_fields (fun v -> v) t.gauges
+
+let histogram_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.histograms [])
+
 let summary_to_json s =
   Json.Obj
     [

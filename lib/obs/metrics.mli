@@ -62,6 +62,16 @@ val names : t -> string list
 (** All registered metric names (counters, gauges, histograms),
     sorted, deduplicated. *)
 
+val counters_list : t -> (string * int) list
+(** Every registered counter with its value, sorted by name. *)
+
+val gauges_list : t -> (string * float) list
+(** Every registered gauge with its value, sorted by name. *)
+
+val histogram_names : t -> string list
+(** Every registered histogram name, sorted (per-kind enumeration for
+    exposition writers; {!names} merges the three kinds). *)
+
 val summary_to_json : summary -> Json.t
 
 val to_json : t -> Json.t

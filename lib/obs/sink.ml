@@ -1,7 +1,26 @@
+(* A Jsonl sink buffers complete NDJSON lines and writes them to the
+   channel in line-aligned chunks, flushing the channel immediately
+   after each chunk.  The stdlib channel buffer therefore never holds
+   a partial line between emissions — its auto-flush at an arbitrary
+   64KB byte boundary was how aborted runs used to ship torn lines.
+   A process killed mid-run loses at most the lines still pending in
+   the sink's own buffer; everything already on disk parses.
+
+   Normal exits (including uncaught exceptions) lose nothing: the
+   first [jsonl] call installs one [at_exit] hook that drains every
+   still-registered stream.  The registry is an [Atomic] so sinks
+   created inside sweep worker domains stay domain-safe. *)
+
+type stream = {
+  sid : int;
+  chan : out_channel;
+  pending : Buffer.t;  (* complete lines not yet written *)
+}
+
 type t =
   | Null
   | Memory of Trace.event list ref
-  | Jsonl of out_channel
+  | Jsonl of stream
   | Multi of t list
   | Custom of (Trace.event -> unit)
 
@@ -9,11 +28,60 @@ let null = Null
 let memory () = Memory (ref [])
 let is_null = function Null -> true | _ -> false
 
+(* Write the pending lines as one chunk and flush the channel, so the
+   channel buffer is empty again before the next emission. *)
+let write_pending s =
+  if Buffer.length s.pending > 0 then begin
+    Buffer.output_buffer s.chan s.pending;
+    Buffer.clear s.pending;
+    Stdlib.flush s.chan
+  end
+
+let chunk_bytes = 65536
+
+(* {2 The at-exit registry} *)
+
+let live : stream list Atomic.t = Atomic.make []
+let hook_installed : bool Atomic.t = Atomic.make false
+
+let rec update f =
+  let old = Atomic.get live in
+  if not (Atomic.compare_and_set live old (f old)) then update f
+
+let register s =
+  if not (Atomic.exchange hook_installed true) then
+    at_exit (fun () ->
+        List.iter
+          (fun s -> try write_pending s with Sys_error _ -> ())
+          (Atomic.get live));
+  update (fun ss -> s :: ss)
+
+let unregister s =
+  update (List.filter (fun s' -> s'.sid <> s.sid))
+
+let next_sid = Atomic.make 0
+
+let jsonl oc =
+  let s =
+    {
+      sid = Atomic.fetch_and_add next_sid 1;
+      chan = oc;
+      pending = Buffer.create chunk_bytes;
+    }
+  in
+  register s;
+  Jsonl s
+
+(* {2 Operations} *)
+
 let rec emit t ev =
   match t with
   | Null -> ()
   | Memory cell -> cell := ev :: !cell
-  | Jsonl oc -> Json.to_channel oc (Trace.to_json ev)
+  | Jsonl s ->
+      Json.to_buffer s.pending (Trace.to_json ev);
+      Buffer.add_char s.pending '\n';
+      if Buffer.length s.pending >= chunk_bytes then write_pending s
   | Multi sinks -> List.iter (fun s -> emit s ev) sinks
   | Custom f -> f ev
 
@@ -23,6 +91,13 @@ let events = function
       invalid_arg "Sink.events: not a memory sink"
 
 let rec flush = function
-  | Jsonl oc -> Stdlib.flush oc
+  | Jsonl s -> write_pending s
   | Multi sinks -> List.iter flush sinks
+  | Null | Memory _ | Custom _ -> ()
+
+let rec close = function
+  | Jsonl s ->
+      write_pending s;
+      unregister s
+  | Multi sinks -> List.iter close sinks
   | Null | Memory _ | Custom _ -> ()

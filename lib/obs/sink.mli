@@ -3,15 +3,34 @@
     The engines take a sink as an optional parameter defaulting to
     {!null}; hot paths hoist one {!is_null} check out of their loops,
     so with the default sink no event is ever allocated and tracing
-    costs nothing. *)
+    costs nothing.
+
+    {2 Durability of Jsonl sinks}
+
+    A {!Jsonl} sink (built with the {!jsonl} smart constructor)
+    guarantees {e line-atomic} output: lines are buffered whole and
+    written to the channel in line-aligned chunks, each followed by an
+    immediate channel flush.  The stdlib channel buffer never holds a
+    partial line between emissions, so a run killed mid-trace loses
+    at most the lines still pending in the sink — every line already
+    on disk parses.  The first {!jsonl} call installs an [at_exit]
+    hook draining all still-open streams, so normal exits (including
+    uncaught exceptions reaching the top level) lose nothing even
+    without an explicit {!close}. *)
+
+type stream
+(** The buffered state behind a {!Jsonl} sink; build one with
+    {!jsonl}. *)
 
 type t =
   | Null  (** Discard everything (the default). *)
   | Memory of Trace.event list ref
       (** Accumulate in memory (most recent first; see {!events}). *)
-  | Jsonl of out_channel
-      (** One NDJSON line per event, written immediately (the channel
-          is the caller's to open, flush, and close). *)
+  | Jsonl of stream
+      (** One NDJSON line per event, buffered line-atomically (see
+          above).  The underlying channel is the caller's to open and
+          close; call {!close} (or at least {!flush}) before
+          [close_out]. *)
   | Multi of t list  (** Fan out to several sinks in order. *)
   | Custom of (Trace.event -> unit)  (** Arbitrary callback. *)
 
@@ -20,6 +39,11 @@ val null : t
 
 val memory : unit -> t
 (** A fresh {!Memory} sink. *)
+
+val jsonl : out_channel -> t
+(** A fresh {!Jsonl} sink over a channel the caller opened (and will
+    close after {!close}).  Registers the stream with the at-exit
+    drain hook. *)
 
 val is_null : t -> bool
 (** True only for {!Null} (a [Multi []] is not considered null: the
@@ -32,5 +56,10 @@ val events : t -> Trace.event list
     @raise Invalid_argument on any other sink. *)
 
 val flush : t -> unit
-(** Flush any buffered output ({!Jsonl} channels, recursively through
-    {!Multi}); no-op elsewhere. *)
+(** Write any buffered lines and flush the underlying channel
+    ({!Jsonl}, recursively through {!Multi}); no-op elsewhere. *)
+
+val close : t -> unit
+(** {!flush}, then deregister the stream from the at-exit hook.  Does
+    {e not} close the underlying channel (it is the caller's).  Safe
+    to call more than once. *)

@@ -119,7 +119,7 @@ let rw_report (spec : Spec.t) ~name ~n ~seed (r : Gossip.Oblivious_rw.result)
         ])
     as_run_result
 
-let run_point (spec : Spec.t) ~trace ~n ~seed =
+let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
   let name =
     spec.name ^ "/" ^ Spec.algorithm_name spec.algorithm ^ "/seed="
     ^ string_of_int seed
@@ -147,29 +147,29 @@ let run_point (spec : Spec.t) ~trace ~n ~seed =
   | Spec.Flooding ->
       let result, _ =
         Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ~faults
-          ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Single_source ->
       let result, _ =
         Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ~faults
-          ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Multi_source ->
       let result, _ =
         Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ~faults
-          ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Oblivious_rw ->
       let r =
         Gossip.Runners.oblivious_rw ~instance ~schedule:(schedule ()) ~seed
-          ~const_f:0.05 ~force_rw:true ()
+          ~const_f:0.05 ~force_rw:true ~prof ()
       in
       rw_report spec ~name ~n ~seed r
 
-let run ?jobs ?base_dir (spec : Spec.t) =
+let run ?jobs ?base_dir ?prof (spec : Spec.t) =
   match resolve_trace ?base_dir spec with
   | Error e -> Error e
   | Ok trace -> (
@@ -184,6 +184,7 @@ let run ?jobs ?base_dir (spec : Spec.t) =
       | Some n ->
           let seeds = Array.init spec.repeats (fun i -> spec.seed + i) in
           Ok
-            (Analysis.Sweep.map ?jobs
-               (fun seed -> run_point spec ~trace ~n ~seed)
+            (Analysis.Sweep.map_span ?jobs ?prof
+               ~name:("scenario/" ^ spec.name)
+               (fun ~prof seed -> run_point spec ~trace ~n ~prof ~seed)
                seeds))

@@ -43,9 +43,13 @@ val resolve_trace :
     when both are present. *)
 
 val run :
-  ?jobs:int -> ?base_dir:string -> Spec.t ->
+  ?jobs:int -> ?base_dir:string -> ?prof:Obs.Span.t -> Spec.t ->
   (Obs.Report.t array, string) result
 (** Execute every repeat and return the run reports in repeat order.
+    [?prof] (default {!Obs.Span.null}) profiles the whole run as one
+    {!Analysis.Sweep.map_span} sweep named [scenario/<name>]: each
+    repeat is a [point] span, and the engine round/phase spans of the
+    repeat nest beneath it in the lane of the domain that executed it.
     [Error] covers environment problems surfaced at materialization
     time (unreadable or invalid trace, node-count mismatch); protocol
     or adversary violations during a run propagate as the engines'

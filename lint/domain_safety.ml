@@ -6,8 +6,9 @@
    something:
 
    1. Roots: any file whose token stream applies [Sweep.map] /
-      [Sweep.map_timed] / [Sweep.run] holds worker closures, so every
-      module that file references (plus the file itself) is a root.
+      [Sweep.map_timed] / [Sweep.map_span] / [Sweep.run] holds worker
+      closures, so every module that file references (plus the file
+      itself) is a root.
    2. Reachability: module A depends on module B if B's name appears
       anywhere in A's token stream (constructors inflate this set —
       that is the safe direction).  The worker-reachable set is the
@@ -23,7 +24,7 @@
    A hit is a violation unless annotated with a checked
    [(* dynlint: domain-safe — <reason> *)] waiver. *)
 
-let sweep_fns = [ "map"; "map_timed"; "run" ]
+let sweep_fns = [ "map"; "map_timed"; "map_span"; "run" ]
 
 (* {2 Mutable-creation classification} *)
 
@@ -45,6 +46,15 @@ let mutable_creator lid =
   | [ "Rng"; "make" ]
   | [ "Dynet"; "Rng"; "make" ] ->
       Some "RNG state"
+  (* Observability state: a span profiler's buffer and an Obs.Metrics
+     registry are single-domain by contract (worker lanes are created
+     with Span.worker inside the worker and absorbed after the join),
+     so sharing one across Sweep workers from the top level races. *)
+  | [ "Span"; ("create" | "worker") ] | [ "Obs"; "Span"; ("create" | "worker") ]
+    ->
+      Some "span-profiler lane (per-worker buffers; single-domain)"
+  | [ "Metrics"; "create" ] | [ "Obs"; "Metrics"; "create" ] ->
+      Some "Obs.Metrics registry (single-domain by design)"
   | _ -> None
 
 (* Field names declared [mutable] by any type in the scanned tree. *)

@@ -1,0 +1,15 @@
+(* Helper for the torn-line durability test (test_profiler.ml): stream
+   a few chunks' worth of trace events through a JSONL sink, then die
+   on SIGKILL mid-trace — no close, no flush, no at_exit.  The parent
+   test asserts that every line that reached the file still parses. *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let oc = open_out path in
+  let sink = Obs.Sink.jsonl oc in
+  for r = 1 to 20_000 do
+    Obs.Sink.emit sink
+      (Obs.Trace.Send
+         { round = r; src = r mod 7; dst = Some (r mod 11); cls = "token" })
+  done;
+  Unix.kill (Unix.getpid ()) Sys.sigkill

@@ -14,6 +14,7 @@ let () =
       ("leader-election", Test_leader.suite);
       ("weak-adversary", Test_weak.suite);
       ("obs", Test_obs.suite);
+      ("profiler", Test_profiler.suite);
       ("faults", Test_faults.suite);
       ("scenario", Test_scenario.suite);
       ("lint", Test_lint.suite);

@@ -303,6 +303,14 @@ let test_domain_safety_mutable_kinds () =
       ( "array literal",
         "let a = [| 0 |]\n\nlet calc x = x + a.(0)\n",
         "let calc x =\n  let a = [| 0 |] in\n  x + a.(0)\n" );
+      (* Observability state is single-domain by contract: a profiler
+         lane or metrics registry shared from the top level races. *)
+      ( "Obs.Span.create",
+        "let p = Obs.Span.create ()\n\nlet calc x = Obs.Span.span_count p + x\n",
+        "let calc x =\n        \  let p = Obs.Span.create () in\n        \  Obs.Span.span_count p + x\n" );
+      ( "Obs.Metrics.create",
+        "let m = Obs.Metrics.create ()\n\n         let calc x = Obs.Metrics.counter m \"c\" + x\n",
+        "let calc x =\n        \  let m = Obs.Metrics.create () in\n        \  Obs.Metrics.counter m \"c\" + x\n" );
     ];
   (* Atomic is the sanctioned shared primitive: a top-level Atomic.t
      passes the audit without a waiver. *)
@@ -318,6 +326,23 @@ let test_domain_safety_mutable_kinds () =
       check
         Alcotest.(list string)
         "top-level Atomic passes" []
+        (rules (Driver.run [ lib ]).Driver.violations))
+
+(* [map_span] call sites hold worker closures exactly like [map]'s,
+   so they root the reachability walk too. *)
+let test_domain_safety_map_span_is_root () =
+  with_fixture_tree
+    [
+      ( "sweepuser.ml",
+        "let go xs =\n        \  Analysis.Sweep.map_span ~name:\"t\"\n        \    (fun ~prof:_ x -> Helper.calc x)\n        \    xs\n" );
+      ("sweepuser.mli", "val go : int array -> int array\n");
+      ("helper.ml", "let cache = ref 0\n\nlet calc x = x + !cache\n");
+      ("helper.mli", "val cache : int ref\n\nval calc : int -> int\n");
+    ]
+    (fun lib ->
+      check
+        Alcotest.(list string)
+        "a map_span call site roots the audit" [ "domain-safety" ]
         (rules (Driver.run [ lib ]).Driver.violations))
 
 (* {2 Regression: the shipped tree is violation-free} *)
@@ -359,6 +384,8 @@ let suite =
     Alcotest.test_case "domain-safety: reachable ref" `Quick
       test_domain_safety_flags_reachable_ref;
     Alcotest.test_case "domain-safety: waiver" `Quick test_domain_safety_waiver;
+    Alcotest.test_case "domain-safety: map_span roots" `Quick
+      test_domain_safety_map_span_is_root;
     Alcotest.test_case "domain-safety: mutable kinds" `Quick
       test_domain_safety_mutable_kinds;
     Alcotest.test_case "shipped tree is clean" `Quick test_shipped_tree_clean;

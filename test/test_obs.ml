@@ -189,6 +189,7 @@ let test_jsonl_sink_lines_parse () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let oc = open_out path in
+      let sink = Obs.Sink.jsonl oc in
       let n = 8 in
       let instance = Gossip.Instance.single_source ~n ~k:8 ~source:0 in
       let schedule =
@@ -199,9 +200,10 @@ let test_jsonl_sink_lines_parse () =
       (let result, _ =
          Gossip.Runners.single_source ~instance
            ~env:(Gossip.Runners.Oblivious schedule)
-           ~obs:(Obs.Sink.Jsonl oc) ()
+           ~obs:sink ()
        in
        ignore result);
+      Obs.Sink.close sink;
       close_out oc;
       let ic = open_in path in
       let lines = ref [] in
