@@ -1087,6 +1087,97 @@ let scenario_validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ files_pos)
 
+(* {2 fuzz} *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: run randomly generated scenario cases through \
+     the pseudocode reference engine and the optimized fastpath engine and \
+     require byte-identical run reports and realized schedules. Each \
+     divergence is shrunk to a minimal case and saved to the corpus \
+     directory as a replayable trace + scenario spec pair. Exit 0 when all \
+     cases agree, 1 on any mismatch, 2 on bad flags."
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Directory for shrunk counterexamples (created on the first \
+             mismatch; untouched on a clean run).")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "shrink-budget" ] ~docv:"B"
+          ~doc:
+            "Maximum shrink-predicate evaluations (each one run of both \
+             engines) per counterexample.")
+  in
+  let run runs seed corpus jobs shrink_budget json profile check =
+    Check.set_enabled check;
+    if runs < 1 then bad_flag "--runs %d must be >= 1" runs;
+    validate_seed ~flag:"seed" seed;
+    if shrink_budget < 1 then
+      bad_flag "--shrink-budget %d must be >= 1" shrink_budget;
+    if jobs < 1 then bad_flag "--jobs %d must be >= 1" jobs;
+    let metrics = Obs.Metrics.create () in
+    with_profile profile @@ fun prof ->
+    let outcome =
+      Fuzz.Campaign.run ~jobs ~metrics ~prof ~shrink_budget ~runs ~seed ()
+    in
+    let saved = Fuzz.Campaign.save_corpus ~dir:corpus outcome in
+    let mismatches = outcome.Fuzz.Campaign.mismatches in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("cases", Obs.Json.Int runs); ("seed", Obs.Json.Int seed);
+                ("mismatches", Obs.Json.Int (List.length mismatches));
+                ( "shrink_steps",
+                  Obs.Json.Int (Obs.Metrics.counter metrics "fuzz/shrink_steps")
+                );
+                ( "corpus",
+                  Obs.Json.List
+                    (List.map
+                       (fun f ->
+                         Obs.Json.String (Filename.concat corpus f))
+                       saved) );
+              ]))
+    else begin
+      Obs.Console.note
+        (Printf.sprintf "fuzz: %d cases, seed %d: %d mismatch(es)" runs seed
+           (List.length mismatches));
+      List.iter2
+        (fun (m : Fuzz.Campaign.mismatch) spec_file ->
+          Obs.Console.error
+            (Printf.sprintf
+               "mismatch: case %d (%s, n=%d k=%d s=%d): %s — shrunk to n=%d \
+                %d round(s), saved as %s"
+               m.Fuzz.Campaign.case.Fuzz.Case.id
+               (Fuzz.Case.algo_name m.Fuzz.Campaign.case.Fuzz.Case.algo)
+               m.Fuzz.Campaign.case.Fuzz.Case.n
+               m.Fuzz.Campaign.case.Fuzz.Case.k
+               m.Fuzz.Campaign.case.Fuzz.Case.s m.Fuzz.Campaign.detail
+               m.Fuzz.Campaign.shrunk.Fuzz.Case.n
+               (Fuzz.Case.period m.Fuzz.Campaign.shrunk)
+               (Filename.concat corpus spec_file)))
+        mismatches saved
+    end;
+    match mismatches with [] -> () | _ :: _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ runs_arg $ seed_arg $ corpus_arg $ jobs_arg
+      $ shrink_budget_arg $ json_arg $ profile_arg $ check_arg)
+
 let scenario_cmd =
   let doc =
     "Declarative scenario workloads: record built-in environments as \
@@ -1108,7 +1199,7 @@ let main_cmd =
   Cmd.group info
     [
       run_cmd; experiments_cmd; table1_cmd; lowerbound_cmd; competitive_cmd;
-      sweep_cmd; scenario_cmd;
+      sweep_cmd; scenario_cmd; fuzz_cmd;
     ]
 
 (* The engine's violation exceptions mean a protocol or adversary
@@ -1117,7 +1208,9 @@ let main_cmd =
    them into a one-line diagnostic with a distinct exit code (3, vs
    cmdliner's own codes for CLI misuse). *)
 let () =
-  match Cmd.eval main_cmd with
+  (* [~catch:false]: cmdliner's default handler would swallow these as
+     "internal error" backtraces before the matches below could run. *)
+  match Cmd.eval ~catch:false main_cmd with
   | code -> exit code
   | exception Engine.Engine_error.Protocol_violation msg ->
       Obs.Console.error ("dynspread: protocol violation: " ^ msg);
@@ -1128,3 +1221,14 @@ let () =
   | exception Check.Check_failed msg ->
       Obs.Console.error ("dynspread: invariant check failed: " ^ msg);
       exit 3
+  (* Asking a finite recorded schedule for a round it does not have is
+     an invocation problem (the trace is too short for the run), not a
+     model violation — same exit bucket as bad flags and invalid
+     specs. *)
+  | exception Engine.Engine_error.Schedule_exhausted { round; available } ->
+      Obs.Console.error
+        (Printf.sprintf
+           "dynspread: trace exhausted: round %d requested but only %d \
+            rounds recorded"
+           round available);
+      exit 2

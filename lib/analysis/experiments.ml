@@ -1138,6 +1138,7 @@ let outcome_cell (result : Engine.Run_result.t) =
       match Engine.Run_result.coverage o with
       | Some c -> Printf.sprintf "partial %.0f%%" (100. *. c)
       | None -> "partial")
+  | Engine.Run_result.Stalled _ -> "stalled"
   | Engine.Run_result.Aborted _ -> "aborted"
 
 let fault_count (result : Engine.Run_result.t) field =

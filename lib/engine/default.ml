@@ -1,0 +1,10 @@
+module E = struct
+  let name = "fastpath"
+
+  module Broadcast = Runner_broadcast
+  module Unicast = Runner_unicast
+end
+
+include E
+
+let engine = (module E : Engine_sig.ENGINE)

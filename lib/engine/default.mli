@@ -1,0 +1,15 @@
+(** The production engine pair, packaged behind the {!Engine_sig}
+    seam: {!Runner_broadcast} and {!Runner_unicast} with their
+    hoisted-boolean zero-cost layers, bitset bookkeeping, and
+    binary-search neighbor validation.  Differentially checked against
+    {!Reference} by the [lib/fuzz] harness. *)
+
+val name : string
+(** ["fastpath"]. *)
+
+module Broadcast : Engine_sig.BROADCAST
+module Unicast : Engine_sig.UNICAST
+
+val engine : (module Engine_sig.ENGINE)
+(** First-class packaging for engine-parametric call sites
+    ([Gossip.Runners]' [?engine], the fuzz harness). *)

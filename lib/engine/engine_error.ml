@@ -2,6 +2,17 @@ open Dynet.Ops
 
 exception Protocol_violation of string
 exception Adversary_violation of string
+exception Schedule_exhausted of { round : int; available : int }
+
+let () =
+  Printexc.register_printer (function
+    | Schedule_exhausted { round; available } ->
+        Some
+          (Printf.sprintf
+             "Engine_error.Schedule_exhausted: round %d is beyond the %d \
+              recorded rounds"
+             round available)
+    | _ -> None)
 
 let check_graph ~round ~n g =
   if Dynet.Graph.n g <> n then

@@ -14,5 +14,14 @@ exception Adversary_violation of string
     disconnected graph (the model requires every [G_r], r ≥ 1, to be
     connected). *)
 
+exception Schedule_exhausted of { round : int; available : int }
+(** A finite committed schedule was asked for a round beyond its
+    recorded length and its past-end policy forbids extrapolation
+    ({!Scenario.Replay} with [past_end = Fail]): the run needs round
+    [round] but only [available] rounds exist.  Unlike the two
+    violations above this is an {e invocation} problem — the workload
+    is too short for the requested run — so the CLI maps it to its
+    usage exit code (2), not the model-violation code (3). *)
+
 val check_graph : round:int -> n:int -> Dynet.Graph.t -> unit
 (** Validates a round graph, raising {!Adversary_violation}. *)

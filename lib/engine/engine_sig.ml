@@ -1,0 +1,49 @@
+(* The common engine seam: module types shared by the fast-path
+   runners ([Default]), the pseudocode-faithful [Reference] engine, and
+   any future engine (the sharded mega-scale engine, the serve
+   daemon's workers).  The PROTOCOL and adversary types stay owned by
+   Runner_broadcast / Runner_unicast so every implementation runs the
+   exact same protocols against the exact same adversaries. *)
+
+module type BROADCAST = sig
+  val run :
+    (module Runner_broadcast.PROTOCOL with type state = 's and type msg = 'm) ->
+    ?init_prev:Dynet.Graph.t ->
+    ?obs:Obs.Sink.t ->
+    ?faults:Faults.Plan.t ->
+    ?prof:Obs.Span.t ->
+    ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
+    ?target_progress:int ->
+    ?stall_after:int ->
+    states:'s array ->
+    adversary:('s, 'm) Runner_broadcast.adversary ->
+    max_rounds:int ->
+    stop:('s array -> bool) ->
+    unit ->
+    Run_result.t * 's array
+end
+
+module type UNICAST = sig
+  val run :
+    (module Runner_unicast.PROTOCOL with type state = 's and type msg = 'm) ->
+    ?init_prev:Dynet.Graph.t ->
+    ?obs:Obs.Sink.t ->
+    ?faults:Faults.Plan.t ->
+    ?prof:Obs.Span.t ->
+    ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
+    ?target_progress:int ->
+    ?stall_after:int ->
+    states:'s array ->
+    adversary:'s Runner_unicast.adversary ->
+    max_rounds:int ->
+    stop:('s array -> bool) ->
+    unit ->
+    Run_result.t * 's array
+end
+
+module type ENGINE = sig
+  val name : string
+
+  module Broadcast : BROADCAST
+  module Unicast : UNICAST
+end

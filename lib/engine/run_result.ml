@@ -1,6 +1,7 @@
 type outcome =
   | Completed
   | Partial of { achieved : int; target : int option }
+  | Stalled of { rounds_without_progress : int }
   | Aborted of string
 
 type t = {
@@ -16,7 +17,7 @@ let coverage = function
   | Completed -> Some 1.
   | Partial { achieved; target = Some target } when target > 0 ->
       Some (Float.min 1. (float_of_int achieved /. float_of_int target))
-  | Partial _ | Aborted _ -> None
+  | Partial _ | Stalled _ | Aborted _ -> None
 
 let make ?outcome ?fault_counts ~rounds ~completed ~ledger ~timeline () =
   let outcome =
@@ -35,6 +36,7 @@ let outcome_fields t =
     match t.outcome with
     | Completed -> "completed"
     | Partial _ -> "partial"
+    | Stalled _ -> "stalled"
     | Aborted _ -> "aborted"
   in
   let base = [ ("outcome", Obs.Json.String tag) ] in
@@ -49,6 +51,8 @@ let outcome_fields t =
         @ (match coverage t.outcome with
           | None -> []
           | Some c -> [ ("coverage", Obs.Json.Float c) ])
+    | Stalled { rounds_without_progress } ->
+        [ ("stalled_for", Obs.Json.Int rounds_without_progress) ]
     | Aborted reason -> [ ("abort_reason", Obs.Json.String reason) ]
   in
   let faults =
@@ -92,6 +96,9 @@ let pp ppf t =
         Printf.sprintf "PARTIAL %d/%d (%.0f%% coverage)" achieved target
           (100. *. float_of_int achieved /. float_of_int target)
     | Partial _ -> "HIT ROUND CAP"
+    | Stalled { rounds_without_progress } ->
+        Printf.sprintf "STALLED (no progress for %d rounds)"
+          rounds_without_progress
   in
   Format.fprintf ppf "@[<v>%s after %d rounds@ %a@]" status t.rounds Ledger.pp
     t.ledger;

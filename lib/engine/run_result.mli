@@ -5,12 +5,18 @@
     global progress (sum over nodes of tokens known) and [target] the
     progress a fully successful run would have reached (when the
     caller declared one), so [achieved/target] is the run's coverage.
-    [Aborted] — the engine detected the run could never make further
-    progress (e.g. every node crashed under a fault plan with no
-    restarts) and stopped early. *)
+    [Stalled] — the engine's opt-in non-progress detector fired: global
+    progress did not increase for [rounds_without_progress] consecutive
+    rounds (at least the caller's [stall_after] window, typically a
+    full schedule period), so the run was cut short instead of spinning
+    to the round cap — the outcome a protocol livelocking against a
+    periodic schedule reports.  [Aborted] — the engine detected the run
+    could never make further progress (e.g. every node crashed under a
+    fault plan with no restarts) and stopped early. *)
 type outcome =
   | Completed
   | Partial of { achieved : int; target : int option }
+  | Stalled of { rounds_without_progress : int }
   | Aborted of string
 
 type t = {

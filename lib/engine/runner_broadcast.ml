@@ -22,7 +22,8 @@ type ('state, 'msg) adversary =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?(prof = Obs.Span.null) ?on_graph ?target_progress ~(states : s array)
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after
+    ~(states : s array)
     ~(adversary : (s, m) adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
@@ -65,10 +66,22 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     Obs.Sink.emit obs
       (Obs.Trace.Progress { round = 0; progress = p0; learnings = 0 });
   let prev = ref (Option.value init_prev ~default:(Dynet.Graph.empty ~n)) in
+  (* Opt-in livelock detector: [stall_after = Some w] stops the run
+     once global progress has not increased for [w] consecutive rounds
+     (callers pass a full schedule period, so a protocol limit-cycling
+     against a periodic schedule is cut short instead of spinning to
+     the round cap).  Off by default: the Section-2 lower-bound
+     adversary legitimately starves progress for long stretches. *)
+  let best_progress = ref p0 in
+  let stagnant = ref 0 in
+  let stalled = ref false in
   let completed = ref (stop states) in
   let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && Option.is_none !aborted && !round < max_rounds do
+  while
+    (not !completed) && (not !stalled) && Option.is_none !aborted
+    && !round < max_rounds
+  do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -275,6 +288,16 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         Obs.Sink.emit obs
           (Obs.Trace.Progress
              { round = r; progress = p; learnings = Ledger.learnings ledger });
+      if p > !best_progress then begin
+        best_progress := p;
+        stagnant := 0
+      end
+      else begin
+        incr stagnant;
+        match stall_after with
+        | Some w when !stagnant >= w -> stalled := true
+        | Some _ | None -> ()
+      end;
       timeline :=
         (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
       prev := g;
@@ -297,6 +320,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     | Some reason -> Run_result.Aborted reason
     | None ->
         if !completed then Run_result.Completed
+        else if !stalled then
+          Run_result.Stalled { rounds_without_progress = !stagnant }
         else
           Run_result.Partial
             { achieved = sum_progress (); target = target_progress }

@@ -48,6 +48,7 @@ val run :
   ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
+  ?stall_after:int ->
   states:'s array ->
   adversary:('s, 'm) adversary ->
   max_rounds:int ->
@@ -56,6 +57,15 @@ val run :
   Run_result.t * 's array
 (** Runs until [stop] holds (checked after each round, and once before
     round 1 for already-solved instances) or [max_rounds] is reached.
+
+    [stall_after] (default: off) arms the livelock detector: if the
+    global progress sum does not increase for [stall_after] consecutive
+    executed rounds the run stops with a {!Run_result.Stalled} outcome
+    instead of spinning to the cap.  Pass a window covering a full
+    schedule period (and a full protocol phase cycle) — see
+    {!Scenario.Runner} for the window used on looped traces.  Leave it
+    off against adaptive adversaries, which starve progress
+    legitimately.
     [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting when chaining runs.
 

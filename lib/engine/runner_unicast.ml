@@ -43,7 +43,8 @@ let mem_sorted arr x =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?(prof = Obs.Span.null) ?on_graph ?target_progress ~(states : s array)
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after
+    ~(states : s array)
     ~(adversary : s adversary)
     ~max_rounds ~stop () =
   let n = Array.length states in
@@ -96,10 +97,20 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
      per round — replaces a fresh per-round Hashtbl keyed by tuples. *)
   let token_sent = Dynet.Bitset.create (n * n) in
   let traffic = ref ([] : traffic) in
+  (* Opt-in livelock detector, identical to Runner_broadcast: stop
+     once global progress has not increased for [stall_after]
+     consecutive rounds.  Off by default — adaptive adversaries starve
+     progress legitimately. *)
+  let best_progress = ref p0 in
+  let stagnant = ref 0 in
+  let stalled = ref false in
   let completed = ref (stop states) in
   let aborted = ref None in
   let round = ref 0 in
-  while (not !completed) && Option.is_none !aborted && !round < max_rounds do
+  while
+    (not !completed) && (not !stalled) && Option.is_none !aborted
+    && !round < max_rounds
+  do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -294,6 +305,16 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         Obs.Sink.emit obs
           (Obs.Trace.Progress
              { round = r; progress = p; learnings = Ledger.learnings ledger });
+      if p > !best_progress then begin
+        best_progress := p;
+        stagnant := 0
+      end
+      else begin
+        incr stagnant;
+        match stall_after with
+        | Some w when !stagnant >= w -> stalled := true
+        | Some _ | None -> ()
+      end;
       timeline :=
         (r, Ledger.total ledger, Ledger.learnings ledger) :: !timeline;
       prev := g;
@@ -317,6 +338,8 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     | Some reason -> Run_result.Aborted reason
     | None ->
         if !completed then Run_result.Completed
+        else if !stalled then
+          Run_result.Stalled { rounds_without_progress = !stagnant }
         else
           Run_result.Partial
             { achieved = sum_progress (); target = target_progress }

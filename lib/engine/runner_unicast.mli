@@ -60,13 +60,21 @@ val run :
   ?prof:Obs.Span.t ->
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
+  ?stall_after:int ->
   states:'s array ->
   adversary:'s adversary ->
   max_rounds:int ->
   stop:('s array -> bool) ->
   unit ->
   Run_result.t * 's array
-(** [init_prev] (default: the empty graph [G_0]) seeds the
+(** [stall_after] (default: off) arms the livelock detector of
+    {!Runner_broadcast.run}: a run whose global progress sum does not
+    increase for [stall_after] consecutive executed rounds stops with
+    {!Run_result.Stalled} instead of spinning to the round cap — the
+    honest verdict for a deterministic protocol limit-cycling against
+    a periodic (looped-trace) schedule.
+
+    [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting — pass the previous phase's last
     graph when chaining runs so [TC] is not inflated by a phantom
     re-insertion of every edge.

@@ -1,0 +1,24 @@
+(** Greedy counterexample minimization.
+
+    Given a failing case and the predicate that makes it fail (for the
+    fuzzer: "the two engines still diverge"), [minimize] walks
+    structurally smaller candidates and keeps each one that still
+    fails, in the order rounds (shortest failing schedule prefix) →
+    round cap (halving) → nodes (remove-and-remap, reconnecting any
+    round the removal cut) → tokens → edges (single removals that
+    keep rounds connected) → faults (drop the plan, then zero each
+    field).  The pass cycle repeats to a fixpoint or until [budget]
+    predicate evaluations have been spent.
+
+    Every candidate preserves the case invariants — connected rounds,
+    [n >= 2], [1 <= s <= min n k] — so the minimum is always a valid,
+    replayable case; determinism follows from the predicate's (both
+    engines are deterministic functions of the case). *)
+
+type stats = { evaluated : int; accepted : int }
+
+val minimize :
+  ?budget:int -> fails:(Case.t -> bool) -> Case.t -> Case.t * stats
+(** [budget] defaults to 400 evaluations — generated cases sit well
+    under 10 nodes and 12 rounds, where the fixpoint is reached in a
+    few dozen. *)

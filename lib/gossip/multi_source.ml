@@ -233,8 +233,16 @@ module P = struct
                 })
         | Payload.Token_msg tok -> learn st tok ~from:u
         | Payload.Request { source = x; idx } ->
-            if (source_info st x).complete then
-              { st with to_serve = (u, x, idx) :: st.to_serve }
+            (* At most one queued serve per asker: duplicated or delayed
+               requests can land two in one inbox, and serving both next
+               round would put two tokens on the same edge — a bandwidth
+               violation.  Dropped extras are re-requested, the same
+               recovery path as a lost request (single-source gets this
+               for free from its assoc-by-neighbor serve loop). *)
+            if
+              (source_info st x).complete
+              && not (List.exists (fun (u', _, _) -> u' = u) st.to_serve)
+            then { st with to_serve = (u, x, idx) :: st.to_serve }
             else st
         | Payload.Walk_msg _ | Payload.Center_announce -> st)
       st inbox

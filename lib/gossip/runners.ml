@@ -10,30 +10,32 @@ let unicast_adversary ~n = function
   | Request_cutting { seed; cut_prob } ->
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
-let single_source ~instance ~env ?max_rounds ?config ?faults ?obs ?prof
-    ?on_graph () =
+let single_source ~instance ~env ?(engine = Engine.Default.engine)
+    ?max_rounds ?stall_after ?config ?faults ?obs ?prof ?on_graph () =
+  let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Single_source.init ?config ~instance () in
-  Engine.Runner_unicast.run Single_source.protocol ?obs ?faults ?prof
-    ?on_graph
+  E.Unicast.run Single_source.protocol ?obs ?faults ?prof ?on_graph
+    ?stall_after
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
     ~stop:(Single_source.all_complete ~k)
     ()
 
-let multi_source ~instance ~env ?max_rounds ?source_order ?seed ?faults ?obs
-    ?prof ?on_graph () =
+let multi_source ~instance ~env ?(engine = Engine.Default.engine) ?max_rounds
+    ?stall_after ?source_order ?seed ?faults ?obs ?prof ?on_graph () =
+  let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_unicast_cap ~n ~k)
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
-  Engine.Runner_unicast.run Multi_source.protocol ?obs ?faults ?prof
-    ?on_graph
+  E.Unicast.run Multi_source.protocol ?obs ?faults ?prof ?on_graph
+    ?stall_after
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -122,14 +124,15 @@ let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
     Array.map Reliable_multi.inner states,
     retransmits )
 
-let flooding ~instance ~schedule ?phase_len ?max_rounds ?faults ?obs ?prof
-    ?on_graph () =
+let flooding ~instance ~schedule ?(engine = Engine.Default.engine) ?phase_len
+    ?max_rounds ?stall_after ?faults ?obs ?prof ?on_graph () =
+  let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
     Option.value max_rounds ~default:(default_broadcast_cap ~n ~k)
   in
   let states = Flooding.init ~instance ?phase_len () in
-  Engine.Runner_broadcast.run Flooding.protocol ?obs ?faults ?prof ?on_graph
+  E.Broadcast.run Flooding.protocol ?obs ?faults ?prof ?on_graph ?stall_after
     ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds

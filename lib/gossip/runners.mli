@@ -32,7 +32,17 @@
     {!flooding}) also forward the engines' [?on_graph] recorder hook,
     so {!Scenario.Record} (in [lib/scenario]) can capture the realized
     round-graph sequence of any run — including adaptive environments
-    like the request-cutter — into a replayable trace. *)
+    like the request-cutter — into a replayable trace.
+
+    The workhorse runners are additionally {e engine-parametric}: the
+    optional [?engine] (default {!Engine.Default.engine}) selects the
+    {!Engine.Engine_sig.ENGINE} implementation that executes the run —
+    pass {!Engine.Reference.engine} for the pseudocode-faithful
+    baseline the differential fuzzer checks against.  They also
+    forward the engines' [?stall_after] livelock window, which
+    {!Scenario.Runner} arms on looped-trace environments so a
+    deterministic protocol limit-cycling against a periodic schedule
+    reports [Stalled] instead of spinning to its round cap. *)
 
 type unicast_env =
   | Oblivious of Adversary.Schedule.t
@@ -50,7 +60,9 @@ val default_broadcast_cap : n:int -> k:int -> int
 val single_source :
   instance:Instance.t ->
   env:unicast_env ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
   ?max_rounds:int ->
+  ?stall_after:int ->
   ?config:Single_source.config ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
@@ -65,7 +77,9 @@ val single_source :
 val multi_source :
   instance:Instance.t ->
   env:unicast_env ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
   ?max_rounds:int ->
+  ?stall_after:int ->
   ?source_order:Multi_source.source_order ->
   ?seed:int ->
   ?faults:Faults.Plan.t ->
@@ -115,8 +129,10 @@ val reliable_multi_source :
 val flooding :
   instance:Instance.t ->
   schedule:Adversary.Schedule.t ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
   ?phase_len:int ->
   ?max_rounds:int ->
+  ?stall_after:int ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Span.t ->

@@ -37,6 +37,6 @@ let schedule ?(past_end = Hold) (trace : Trace_io.t) =
         | Hold -> prev
         | Loop -> get_cycle (((r - 1) mod r_max) + 1)
         | Fail ->
-            invalid_arg
-              (Printf.sprintf
-                 "Replay: round %d is beyond the %d recorded rounds" r r_max))
+            raise
+              (Engine.Engine_error.Schedule_exhausted
+                 { round = r; available = r_max }))

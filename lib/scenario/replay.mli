@@ -18,7 +18,12 @@ type past_end =
       (** The graph sequence repeats from round 1 ([g(R + i) = g(i)]):
           the natural reading of periodic contact data.  The wrap-around
           is an ordinary topology change, charged to [TC] as usual. *)
-  | Fail  (** Asking past the trace raises [Invalid_argument]. *)
+  | Fail
+      (** Asking past the trace raises
+          {!Engine.Engine_error.Schedule_exhausted} (carrying the
+          requested round and the recorded length) — for callers that
+          require exact reproduction and want extrapolation to be an
+          error, not a guess.  The CLI maps it to exit 2. *)
 
 val schedule : ?past_end:past_end -> Trace_io.t -> Adversary.Schedule.t
 (** [past_end] (default {!Hold}) picks the semantics for rounds beyond

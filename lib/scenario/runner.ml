@@ -44,6 +44,17 @@ let resolve_trace ?(base_dir = ".") (spec : Spec.t) =
           | Some _ | None -> Ok (Some trace)))
   | _ -> Ok None
 
+(* Livelock window for looped-trace replays: long enough that no
+   live protocol can trip it — two full schedule periods AND two full
+   flooding phase cycles (phase_len defaults to n, k phases, and
+   flooding provably progresses at least once per phase cycle on
+   connected rounds), with a small floor for degenerate instances —
+   yet far below the unicast round cap of [4nk + 4n² + 64], so a
+   deterministic protocol limit-cycling against the periodic schedule
+   (the E17 [s >= 6] corner) stops with [Stalled] instead of spinning
+   to the cap. *)
+let stall_window ~period ~n ~k = max 64 (max (2 * period) (2 * n * k))
+
 let fault_plan (spec : Spec.t) ~seed =
   match spec.faults with
   | None -> Faults.Plan.none
@@ -126,6 +137,13 @@ let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
   in
   let faults = fault_plan spec ~seed in
   let instance = instance_of spec ~n ~seed in
+  (* Trace envs replay with [Loop]: the schedule is periodic, so the
+     engines' livelock detector has a sound window to watch. *)
+  let stall_after =
+    Option.map
+      (fun t -> stall_window ~period:(Trace_io.rounds t) ~n ~k:spec.k)
+      trace
+  in
   let schedule () =
     match trace with
     | Some t -> Replay.schedule ~past_end:Replay.Loop t
@@ -147,19 +165,19 @@ let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
   | Spec.Flooding ->
       let result, _ =
         Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Single_source ->
       let result, _ =
         Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Multi_source ->
       let result, _ =
         Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ()
+          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Oblivious_rw ->

@@ -23,7 +23,19 @@
     contact data is finite and bursty, and looping it is the standard
     periodic-workload reading.  A recording that covers the full run
     never reaches the loop, which is what the record→replay
-    reproducibility guarantee relies on. *)
+    reproducibility guarantee relies on.
+
+    Because a looped trace is periodic, trace runs also arm the
+    engines' livelock detector with {!stall_window}: a deterministic
+    protocol limit-cycling against the period (the E17 [s >= 6]
+    min-source corner) ends with a [Stalled] outcome after the window
+    instead of spinning to its round cap. *)
+
+val stall_window : period:int -> n:int -> k:int -> int
+(** [max 64 (max (2 * period) (2 * n * k))] — the [stall_after]
+    window used for looped-trace runs: at least two full schedule
+    periods and two full flooding phase cycles, so no live protocol
+    can trip it, while staying far below the unicast round cap. *)
 
 val builtin_schedule :
   env:Spec.env -> sigma:int -> n:int -> seed:int ->

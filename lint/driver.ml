@@ -17,7 +17,10 @@ type config = {
 let default_config =
   {
     strict_poly =
-      [ "lib/dynet/"; "lib/engine/"; "lib/gossip/"; "lib/scenario/" ];
+      [
+        "lib/dynet/"; "lib/engine/"; "lib/fuzz/"; "lib/gossip/";
+        "lib/scenario/";
+      ];
     print_allowed = [ "lib/obs/"; "bin/"; "bench/" ];
     physeq_allowed = [ "lib/dynet/graph.ml"; "lib/dynet/stability.ml" ];
     mli_required = [ "lib/" ];

@@ -17,6 +17,7 @@ let () =
       ("profiler", Test_profiler.suite);
       ("faults", Test_faults.suite);
       ("scenario", Test_scenario.suite);
+      ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite);
       ("check", Test_check.suite);
     ]

@@ -342,6 +342,30 @@ let test_reliable_completes_under_loss () =
   check Alcotest.int "retransmits folded into fault counts" retransmits
     counts.Faults.Counts.retransmits
 
+(* Regression: duplicated or delayed requests used to queue two serves
+   for the same asker, so bare multi-source emitted two tokens on one
+   edge in one round — a Protocol_violation on essentially every faulty
+   run.  Extras are now dropped at receive (the asker re-requests). *)
+let test_multi_source_bare_survives_dup_delay () =
+  List.iter
+    (fun seed ->
+      let n = 9 and k = 6 and s = 4 in
+      let instance =
+        Gossip.Instance.multi_source ~rng:(Dynet.Rng.make ~seed) ~n ~k ~s
+      in
+      let faults =
+        Faults.Plan.make ~loss:0.2 ~dup:0.2 ~max_delay:2 ~seed ()
+      in
+      let result, _ =
+        Gossip.Runners.multi_source ~instance
+          ~env:(Gossip.Runners.Oblivious (rotator ~seed ~n))
+          ~max_rounds:512 ~faults ()
+      in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d completes under dup + delay" seed)
+        true result.Engine.Run_result.completed)
+    [ 1; 2; 3; 4; 5 ]
+
 let test_reliable_multi_completes_under_mixed_faults () =
   let n = 10 and k = 10 and s = 3 in
   let instance =
@@ -382,6 +406,8 @@ let suite =
       test_reliable_clean_matches_bare_rounds;
     Alcotest.test_case "reliable completes under loss" `Quick
       test_reliable_completes_under_loss;
+    Alcotest.test_case "bare multi-source under dup + delay" `Quick
+      test_multi_source_bare_survives_dup_delay;
     Alcotest.test_case "reliable under mixed faults" `Quick
       test_reliable_multi_completes_under_mixed_faults;
   ]

@@ -364,7 +364,8 @@ let test_shipped_tree_clean () =
       check Alcotest.bool (id ^ " sweep-reachable") true
         (List.mem id report.Driver.sweep_reachable))
     [ "lib/analysis/sweep.ml"; "lib/gossip/single_source.ml";
-      "lib/engine/runner_unicast.ml" ]
+      "lib/engine/runner_unicast.ml"; "lib/fuzz/campaign.ml";
+      "lib/fuzz/diff.ml"; "lib/engine/reference.ml" ]
 
 let suite =
   [

@@ -147,10 +147,16 @@ let test_replay_past_end () =
        (Adversary.Schedule.get loop 12)
        (Adversary.Schedule.get loop 2));
   let fail = Scenario.Replay.schedule ~past_end:Scenario.Replay.Fail trace in
-  check Alcotest.bool "Fail raises past the end" true
+  check Alcotest.bool "Fail raises the typed past-end error" true
     (match Adversary.Schedule.get fail 6 with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
+    | exception Engine.Engine_error.Schedule_exhausted
+        { round = 6; available = 5 } ->
+        true
+    | _ -> false);
+  check Alcotest.bool "Fail serves recorded rounds normally" true
+    (Dynet.Graph.same_edges
+       (Adversary.Schedule.get fail 5)
+       (Adversary.Schedule.get hold 5))
 
 (* {2 The engine recorder hook} *)
 
