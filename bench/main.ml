@@ -228,6 +228,40 @@ let bench_e17_real_trace () =
     let r, _ = Gossip.Runners.multi_source ~instance ~env () in
     assert r.Engine.Run_result.completed
 
+(* {2 E18: the mega-scale SoA engine} *)
+
+(* Rounds per thunk for the per-round e18 entries: enough to amortize
+   engine setup (plane fill, CSR build, domain pool) into noise, few
+   enough that one thunk still fits the sampling quota. *)
+let mega_rounds = 64
+
+let bench_e18_mega ~n ~shards ~max_rounds () =
+  (* The tentpole's budget line: phased flooding at n = 10^5 on the SoA
+     engine.  Graph, instance and protocol states are built once
+     outside the thunk, so each run pays engine setup (plane fill + CSR
+     build, plus the domain pool when sharded) and [max_rounds] rounds
+     of the hot loop. *)
+  let k = 32 in
+  let graph =
+    Dynet.Graph_gen.random_regularish (Dynet.Rng.make ~seed) ~n ~d:8
+  in
+  let instance = Gossip.Instance.single_source ~n ~k ~source:0 in
+  let states = Gossip.Flooding.init ~instance ~phase_len:4 () in
+  let adversary ~round:_ ~prev:_ ~states:_ ~intents:_ = graph in
+  let module E = (val Engine.Soa.engine ~shards () : Engine.Engine_sig.ENGINE)
+  in
+  fun () ->
+    (* The engine restates nodes in place; run on a copy so every
+       sample replays the same rounds instead of a saturated residue
+       of the previous one. *)
+    let r, _ =
+      E.Broadcast.run Gossip.Flooding.protocol ~states:(Array.copy states)
+        ~adversary ~max_rounds
+        ~stop:(fun _ -> false)
+        ()
+    in
+    assert (r.Engine.Run_result.rounds = max_rounds)
+
 let bench_e14_weak_adversary () =
   let n = 48 in
   let adv = Adversary.Weak_bcast.make ~seed ~n in
@@ -237,7 +271,7 @@ let bench_e14_weak_adversary () =
     ignore
       (adv ~round:1 ~prev:(Dynet.Graph.empty ~n) ~states ~intents)
 
-let tests =
+let tests ~shards =
   Test.make_grouped ~name:"dynspread"
     [
       Test.make ~name:"e1/table1:oblivious-rw" (Staged.stage (bench_e1_table1 ()));
@@ -270,18 +304,38 @@ let tests =
         (Staged.stage (bench_e15_reliable_under_loss ()));
       Test.make ~name:"e17/real-trace:multi-source"
         (Staged.stage (bench_e17_real_trace ()));
+      Test.make ~name:"e18/mega:flooding-round-100k"
+        (Staged.stage
+           (bench_e18_mega ~n:100_000 ~shards:1 ~max_rounds:mega_rounds ()));
+      Test.make ~name:"e18/mega:flooding-round-100k-sharded"
+        (Staged.stage
+           (bench_e18_mega ~n:100_000 ~shards ~max_rounds:mega_rounds ()));
     ]
+
+(* The e18 entries report time per simulated *round*, not per thunk:
+   one thunk runs [mega_rounds] rounds and the OLS estimate is divided
+   accordingly, so the committed number is the tentpole's "flooding
+   round at n = 10^5" budget line with setup amortized. *)
+let per_round_entries =
+  [
+    "dynspread/e18/mega:flooding-round-100k";
+    "dynspread/e18/mega:flooding-round-100k-sharded";
+  ]
+
+let normalize_row (name, ns) =
+  if List.mem name per_round_entries then (name, ns /. float_of_int mega_rounds)
+  else (name, ns)
 
 (* Runs the micro-benchmarks, prints the human table, and returns the
    [(name, ns_per_run)] rows for the JSON summary. *)
-let run_bechamel () =
+let run_bechamel ~shards () =
   print_endline "=== Part 2: Bechamel micro-benchmarks (time per run) ===";
   print_newline ();
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
       ~stabilize:false ()
   in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ~shards) in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -294,7 +348,7 @@ let run_bechamel () =
           | Some (t :: _) -> t
           | Some [] | None -> Float.nan
         in
-        (name, ns) :: acc)
+        normalize_row (name, ns) :: acc)
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
@@ -307,6 +361,10 @@ let run_bechamel () =
          [
            "OLS estimate over monotonic-clock samples; randomized protocol \
             runs, so treat as order-of-magnitude.";
+           Printf.sprintf
+             "e18 entries are per simulated round (one thunk = %d rounds, \
+              setup amortized); the sharded entry ran with --shards %d."
+             mega_rounds shards;
          ]
        (List.map
           (fun (name, ns) ->
@@ -323,7 +381,7 @@ let run_bechamel () =
 
 (* {2 JSON summary + driver} *)
 
-let write_results ~out ~bench_rows ~metrics =
+let write_results ~out ~shards ~bench_rows ~metrics =
   let benchmarks =
     List.map
       (fun (name, ns) ->
@@ -357,6 +415,7 @@ let write_results ~out ~bench_rows ~metrics =
       [
         ("schema", Obs.Json.String "dynspread-bench/v1");
         ("seed", Obs.Json.Int seed);
+        ("shards", Obs.Json.Int shards);
         ("benchmarks", Obs.Json.List benchmarks);
         ("experiments", Obs.Json.List experiments);
       ]
@@ -398,6 +457,21 @@ let compare_against ~out ~baseline_path ~tolerance ~tables_ran ~bechamel_ran =
       Obs.Console.error ("error: " ^ e);
       exit 2
   | Ok baseline, Ok current ->
+      (* The sharded entries measure a specific parallelism; diffing a
+         4-shard run against a 1-shard baseline would gate on the shard
+         count, not the code.  Report both and refuse on mismatch. *)
+      Printf.printf "shards: %d (baseline %d)\n"
+        current.Analysis.Baseline.shards baseline.Analysis.Baseline.shards;
+      if current.Analysis.Baseline.shards <> baseline.Analysis.Baseline.shards
+      then begin
+        Obs.Console.error
+          (Printf.sprintf
+             "error: shard counts differ (baseline %d, this run %d); rerun \
+              with --shards %d or regenerate the baseline"
+             baseline.Analysis.Baseline.shards current.Analysis.Baseline.shards
+             baseline.Analysis.Baseline.shards);
+        exit 2
+      end;
       (* Only gate on the sections that actually ran this invocation:
          --tables-only must not flag every micro-benchmark as missing. *)
       let baseline =
@@ -430,14 +504,17 @@ let compare_against ~out ~baseline_path ~tolerance ~tables_ran ~bechamel_ran =
 let usage () =
   Obs.Console.lines
     [
-      "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] [--out \
-       FILE]";
+      "usage: main.exe [--tables-only | --bechamel-only] [--jobs N] \
+       [--shards N] [--out FILE]";
       "                [--compare BASELINE.json] [--tolerance PCT] \
        [--profile-dir DIR]";
       "  --tables-only    only the paper tables (Part 1)";
       "  --bechamel-only  only the micro-benchmarks (Part 2)";
       "  --jobs N         domains for the experiment sweeps (default: \
        recommended domain count); tables are bit-identical for every N";
+      "  --shards N       intra-run shard count for the sharded SoA \
+       micro-benchmarks (default 4); recorded in the summary, and \
+       --compare refuses baselines taken at a different count";
       "  --out FILE       JSON summary path (default BENCH_results.json)";
       "  --compare FILE   diff this run's summary against the baseline \
        summary FILE; exit 1 on regression";
@@ -451,6 +528,7 @@ let () =
   let tables_only = ref false
   and bechamel_only = ref false
   and jobs = ref (Analysis.Sweep.recommended_jobs ())
+  and shards = ref 4
   and out = ref "BENCH_results.json"
   and compare_to = ref None
   and tolerance = ref 25.
@@ -474,6 +552,21 @@ let () =
             exit 2)
     | [ "--jobs" ] ->
         Obs.Console.error "error: --jobs needs a count argument";
+        usage ();
+        exit 2
+    | "--shards" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            shards := n;
+            parse rest
+        | Some _ | None ->
+            Obs.Console.error
+              (Printf.sprintf
+                 "error: --shards needs a positive integer, got %S" v);
+            usage ();
+            exit 2)
+    | [ "--shards" ] ->
+        Obs.Console.error "error: --shards needs a count argument";
         usage ();
         exit 2
     | "--out" :: file :: rest ->
@@ -527,8 +620,10 @@ let () =
   (match metrics with
   | Some m -> run_tables ~jobs:!jobs ~metrics:m ()
   | None -> ());
-  let bench_rows = if !tables_only then [] else run_bechamel () in
-  write_results ~out:!out ~bench_rows ~metrics;
+  let bench_rows =
+    if !tables_only then [] else run_bechamel ~shards:!shards ()
+  in
+  write_results ~out:!out ~shards:!shards ~bench_rows ~metrics;
   (match !profile_dir with
   | Some dir -> write_profiles ~jobs:!jobs ~dir
   | None -> ());

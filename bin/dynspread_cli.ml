@@ -79,6 +79,40 @@ let check_arg =
            ignore this flag. An invariant failure aborts with exit \
            code 3.")
 
+(* {2 Engine selection}
+
+   Shared by `run` and `scenario run`.  Reports are engine-independent
+   (the differential fuzz harness enforces bit identity), so the flag
+   only changes wall-clock and memory layout. *)
+
+type engine_choice = Eng_fastpath | Eng_reference | Eng_soa
+
+let engine_conv =
+  Arg.enum
+    [ ("fastpath", Eng_fastpath); ("reference", Eng_reference);
+      ("soa", Eng_soa) ]
+
+let engine_arg =
+  Arg.(
+    value & opt engine_conv Eng_fastpath
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,fastpath) (the default optimized \
+           sequential engine), $(b,reference) (the pseudocode engine), \
+           or $(b,soa) (the mega-scale struct-of-arrays engine: Bigarray \
+           word planes, CSR adjacency, and intra-run Domain sharding — \
+           see $(b,--shards)). Run reports are bit-identical across \
+           engines; only wall-clock changes.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"SHARDS"
+        ~doc:
+          "Worker domains for the $(b,soa) engine's intra-run node-space \
+           sharding (>= 1). Results are bit-identical for every shard \
+           count. Only meaningful with $(b,--engine soa).")
+
 let print_table ~csv t =
   if csv then (
     print_endline (Analysis.Table.to_csv t);
@@ -182,6 +216,19 @@ let fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed =
   Faults.Plan.make ~loss ~dup ~crash ~restart ~max_delay
     ~seed:(Option.value fault_seed ~default:seed)
     ()
+
+(* [None] means "the default fastpath engine" — callers use it to tell
+   an explicit engine request apart from the default, since a few run
+   shapes (reliable wrapper, oblivious-rw, lower-bound) are not
+   engine-parametric. *)
+let resolve_engine ~engine ~shards =
+  if shards < 1 then bad_flag "--shards %d must be >= 1" shards;
+  if shards > 1 && engine <> Eng_soa then
+    bad_flag "--shards %d applies to --engine soa only" shards;
+  match engine with
+  | Eng_fastpath -> None
+  | Eng_reference -> Some Engine.Reference.engine
+  | Eng_soa -> Some (Engine.Soa.engine ~shards ())
 
 (* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise.
    [Obs.Sink.close] drains the sink's line buffer before the channel
@@ -401,8 +448,9 @@ let rw_report ~name ~k (r : Gossip.Oblivious_rw.result) =
 let run_cmd =
   let doc = "Run one protocol in one environment and print the cost ledger." in
   let run protocol env n k s sigma seed loss dup crash restart max_delay
-      fault_seed reliable timeline trace profile json check =
+      fault_seed reliable timeline trace profile json check engine shards =
     Check.set_enabled check;
+    let eng_opt = resolve_engine ~engine ~shards in
     let faults =
       fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed
     in
@@ -430,8 +478,8 @@ let run_cmd =
           (result, Some rt)
       | Single, false ->
           ( fst
-              (Gossip.Runners.single_source ~instance ~env:envv ~faults ~obs
-                 ~prof ()),
+              (Gossip.Runners.single_source ~instance ~env:envv
+                 ?engine:eng_opt ~faults ~obs ~prof ()),
             None )
       | (Multi | Flooding | Rw), true ->
           let result, _, rt =
@@ -441,11 +489,24 @@ let run_cmd =
           (result, Some rt)
       | (Multi | Flooding | Rw), false ->
           ( fst
-              (Gossip.Runners.multi_source ~instance ~env:envv ~faults ~obs
-                 ~prof ()),
+              (Gossip.Runners.multi_source ~instance ~env:envv
+                 ?engine:eng_opt ~faults ~obs ~prof ()),
             None )
     in
     match (protocol, env) with
+    | _, _ when reliable && Option.is_some eng_opt ->
+        `Error
+          (false,
+           "--engine selects the engine-parametric protocols' engine; the \
+            --reliable wrapper runs on the fastpath engine only")
+    | Rw, _ when Option.is_some eng_opt ->
+        `Error
+          (false, "oblivious-rw is not engine-parametric; drop --engine")
+    | Flooding, Env_lb when Option.is_some eng_opt ->
+        `Error
+          (false,
+           "the lower-bound adversary run is not engine-parametric; drop \
+            --engine")
     | (Flooding | Rw), _ when reliable ->
         `Error
           (false,
@@ -492,8 +553,8 @@ let run_cmd =
             match protocol with
             | Flooding ->
                 let result, _ =
-                  Gossip.Runners.flooding ~instance ~schedule ~faults ~obs
-                    ~prof ()
+                  Gossip.Runners.flooding ~instance ~schedule ?engine:eng_opt
+                    ~faults ~obs ~prof ()
                 in
                 report_run ~timeline ~json ~name ~n ~k result;
                 `Ok ()
@@ -531,7 +592,8 @@ let run_cmd =
         (const run $ protocol_arg $ env_arg $ n_arg 24 $ k_arg 48 $ s_arg
         $ sigma_arg $ seed_arg $ loss_arg $ dup_arg $ crash_arg $ restart_arg
         $ max_delay_arg $ fault_seed_arg $ reliable_arg $ timeline_arg
-        $ trace_arg $ profile_arg $ json_arg $ check_arg))
+        $ trace_arg $ profile_arg $ json_arg $ check_arg $ engine_arg
+        $ shards_arg))
 
 (* {2 experiments} *)
 
@@ -540,7 +602,7 @@ let experiment_names =
     ("e0", `E0); ("e1", `E1); ("e2", `E2); ("e3", `E3); ("e4", `E4);
     ("e6", `E6); ("e7", `E7); ("e8", `E8); ("e9", `E9); ("e10", `E10);
     ("e11", `E11); ("e12", `E12); ("e13", `E13); ("e14", `E14);
-    ("e15", `E15); ("e16", `E16); ("e17", `E17);
+    ("e15", `E15); ("e16", `E16); ("e17", `E17); ("e18", `E18);
   ]
 
 let timings_arg =
@@ -561,7 +623,7 @@ let experiments_cmd =
       & pos_all (Arg.enum experiment_names) []
       & info [] ~docv:"ID"
           ~doc:
-            "Experiment ids (e0 e1 ... e17); default: all.")
+            "Experiment ids (e0 e1 ... e18); default: all.")
   in
   let run ids csv seed jobs timings profile check =
     Check.set_enabled check;
@@ -589,6 +651,7 @@ let experiments_cmd =
           | `E15 -> Analysis.Experiments.robustness_loss ?metrics ~seed ()
           | `E16 -> Analysis.Experiments.robustness_crash ?metrics ~seed ()
           | `E17 -> Scenario.Experiment.real_trace ~jobs ?metrics ~seed ()
+          | `E18 -> Analysis.Experiments.mega ?metrics ~seed ()
         in
         print_table ~csv table)
       selected;
@@ -818,12 +881,14 @@ let scenario_run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"SPEC" ~doc:"Scenario spec file (JSON).")
   in
-  let run path jobs profile check =
+  let run path jobs profile check engine shards =
     Check.set_enabled check;
+    let engine = resolve_engine ~engine ~shards in
     let spec = load_spec path in
     with_profile profile @@ fun prof ->
     match
-      Scenario.Runner.run ~jobs ~base_dir:(Filename.dirname path) ~prof spec
+      Scenario.Runner.run ~jobs ~base_dir:(Filename.dirname path) ~prof
+        ?engine spec
     with
     | Error e ->
         Obs.Console.error ("error: " ^ e);
@@ -835,7 +900,9 @@ let scenario_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ spec_pos $ jobs_arg $ profile_arg $ check_arg)
+    Term.(
+      const run $ spec_pos $ jobs_arg $ profile_arg $ check_arg $ engine_arg
+      $ shards_arg)
 
 let scenario_record_cmd =
   let doc =
@@ -1091,12 +1158,13 @@ let scenario_validate_cmd =
 
 let fuzz_cmd =
   let doc =
-    "Differential fuzzing: run randomly generated scenario cases through \
-     the pseudocode reference engine and the optimized fastpath engine and \
-     require byte-identical run reports and realized schedules. Each \
-     divergence is shrunk to a minimal case and saved to the corpus \
-     directory as a replayable trace + scenario spec pair. Exit 0 when all \
-     cases agree, 1 on any mismatch, 2 on bad flags."
+    "Differential fuzzing: run randomly generated scenario cases through a \
+     pair of engines (by default a generated per-case pairing: the \
+     pseudocode reference engine or the sharded SoA engine against the \
+     optimized fastpath engine) and require byte-identical run reports and \
+     realized schedules. Each divergence is shrunk to a minimal case and \
+     saved to the corpus directory as a replayable trace + scenario spec \
+     pair. Exit 0 when all cases agree, 1 on any mismatch, 2 on bad flags."
   in
   let runs_arg =
     Arg.(
@@ -1119,7 +1187,25 @@ let fuzz_cmd =
             "Maximum shrink-predicate evaluations (each one run of both \
              engines) per counterexample.")
   in
-  let run runs seed corpus jobs shrink_budget json profile check =
+  let engines_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("generated", `Generated); ("reference", `Reference);
+               ("soa", `Soa 1); ("soa-2", `Soa 2); ("soa-4", `Soa 4);
+             ])
+          `Generated
+      & info [ "engines" ] ~docv:"PAIRING"
+          ~doc:
+            "Engine pairing: $(b,generated) (default) draws a per-case \
+             pairing — reference or SoA at shard counts 1/2/4, each \
+             against the fastpath engine; $(b,reference), $(b,soa), \
+             $(b,soa-2) or $(b,soa-4) pin that engine against the \
+             fastpath engine on every case.")
+  in
+  let run runs seed corpus jobs shrink_budget json profile check engines =
     Check.set_enabled check;
     if runs < 1 then bad_flag "--runs %d must be >= 1" runs;
     validate_seed ~flag:"seed" seed;
@@ -1127,9 +1213,16 @@ let fuzz_cmd =
       bad_flag "--shrink-budget %d must be >= 1" shrink_budget;
     if jobs < 1 then bad_flag "--jobs %d must be >= 1" jobs;
     let metrics = Obs.Metrics.create () in
+    let engine_a =
+      match engines with
+      | `Generated -> None
+      | `Reference -> Some Engine.Reference.engine
+      | `Soa shards -> Some (Engine.Soa.engine ~shards ())
+    in
     with_profile profile @@ fun prof ->
     let outcome =
-      Fuzz.Campaign.run ~jobs ~metrics ~prof ~shrink_budget ~runs ~seed ()
+      Fuzz.Campaign.run ?engine_a ~jobs ~metrics ~prof ~shrink_budget ~runs
+        ~seed ()
     in
     let saved = Fuzz.Campaign.save_corpus ~dir:corpus outcome in
     let mismatches = outcome.Fuzz.Campaign.mismatches in
@@ -1176,7 +1269,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ runs_arg $ seed_arg $ corpus_arg $ jobs_arg
-      $ shrink_budget_arg $ json_arg $ profile_arg $ check_arg)
+      $ shrink_budget_arg $ json_arg $ profile_arg $ check_arg $ engines_arg)
 
 let scenario_cmd =
   let doc =

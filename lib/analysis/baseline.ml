@@ -6,7 +6,13 @@
 let schema_name = "dynspread-bench/v1"
 
 type entry = { name : string; value : float }
-type t = { seed : int; benchmarks : entry list; experiments : entry list }
+
+type t = {
+  seed : int;
+  shards : int;
+  benchmarks : entry list;
+  experiments : entry list;
+}
 type kind = Benchmark | Experiment
 
 let kind_name = function
@@ -58,11 +64,15 @@ let entries_of ~value_field json =
 let of_json json =
   match Obs.Json.member "schema" json with
   | Some (Obs.Json.String s) when String.equal s schema_name -> (
-      let seed =
-        match Obs.Json.member "seed" json with
-        | Some j -> Option.value (Obs.Json.to_int j) ~default:0
-        | None -> 0
+      let int_field name ~default =
+        match Obs.Json.member name json with
+        | Some j -> Option.value (Obs.Json.to_int j) ~default
+        | None -> default
       in
+      let seed = int_field "seed" ~default:0 in
+      (* Summaries written before the SoA engine carry no shard count;
+         they were all sequential, so 1 is the faithful reading. *)
+      let shards = int_field "shards" ~default:1 in
       let field name =
         Option.value (Obs.Json.member name json) ~default:(Obs.Json.List [])
       in
@@ -70,7 +80,8 @@ let of_json json =
         ( entries_of ~value_field:"ns_per_run" (field "benchmarks"),
           entries_of ~value_field:"seconds" (field "experiments") )
       with
-      | Ok benchmarks, Ok experiments -> Ok { seed; benchmarks; experiments }
+      | Ok benchmarks, Ok experiments ->
+          Ok { seed; shards; benchmarks; experiments }
       | Error e, _ -> Error ("benchmarks: " ^ e)
       | _, Error e -> Error ("experiments: " ^ e))
   | Some (Obs.Json.String s) ->

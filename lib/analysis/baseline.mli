@@ -19,7 +19,18 @@ val schema_name : string
 type entry = { name : string; value : float }
 (** One row: [ns_per_run] for benchmarks, [seconds] for experiments. *)
 
-type t = { seed : int; benchmarks : entry list; experiments : entry list }
+type t = {
+  seed : int;
+  shards : int;
+      (** Intra-run shard count the sharded benchmarks ran with
+          (["shards"] in the JSON; 1 when the field is absent —
+          pre-SoA summaries were all sequential).  The bench harness
+          refuses to diff summaries taken at different shard counts:
+          the sharded entries measure different parallelism, so the
+          comparison would be meaningless. *)
+  benchmarks : entry list;
+  experiments : entry list;
+}
 
 type kind = Benchmark | Experiment
 

@@ -125,8 +125,21 @@ val robustness_crash :
     round/message inflation — and at worst a graceful [Partial] or
     [Aborted] verdict — never wrong answers. *)
 
+val mega :
+  ?ns:int list -> ?k:int -> ?shards:int -> ?metrics:Obs.Metrics.t ->
+  seed:int -> unit -> Table.t
+(** E18 — beyond the paper (scale): phased flooding on the
+    struct-of-arrays engine ({!Engine.Soa}) at n up to 10^5, on a
+    sparse regular-ish schedule re-drawn every 16 rounds.  Each row
+    runs the same committed environment on [soa], [soa-<shards>] and
+    the fastpath engine and requires byte-identical run reports — the
+    determinism contract at scale — alongside amortized messages per
+    token and wall-clock per round.  Defaults keep CI fast; the 10^5
+    invocation is in EXPERIMENTS.md. *)
+
 val all :
   ?jobs:int -> ?metrics:Obs.Metrics.t -> ?prof:Obs.Span.t -> seed:int ->
   unit -> Table.t list
-(** Every experiment at its default size, in index order; [?jobs] and
+(** Every experiment at its default size, in index order ([mega] at a
+    reduced [ns] so the full sweep stays laptop-fast); [?jobs] and
     [?prof] are forwarded to the sweep-parallel ones (E1, E4, E7). *)

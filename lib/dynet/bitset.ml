@@ -86,6 +86,41 @@ let union a b = map2 ( lor ) "union" a b
 let inter a b = map2 ( land ) "inter" a b
 let diff a b = map2 (fun x y -> x land lnot y) "diff" a b
 
+(* Bits of the last word at positions >= cap.  In-place word-wide
+   operations must never set them: a bitset whose words were loaded
+   from (or will be stored into) a word plane shares its word
+   granularity with the plane rows, and junk above [cap] would
+   round-trip into the plane and from there into whatever borrows the
+   same words next (see Plane).  [set]/[unset] can't reach them, so
+   masking at the word-wide entry points keeps the invariant global. *)
+let pad_mask t =
+  let r = t.cap mod bpw in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let union_into ~into b =
+  check_caps into b "union_into";
+  let words = into.words and src = b.words in
+  for i = 0 to Array.length words - 1 do
+    words.(i) <- words.(i) lor src.(i)
+  done;
+  let last = Array.length words - 1 in
+  if last >= 0 then words.(last) <- words.(last) land pad_mask into
+
+let blit ~src ~dst =
+  check_caps src dst "blit";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let load_word t i = t.words.(i)
+
+let store_word t i w =
+  let nw = Array.length t.words in
+  if i < 0 || i >= nw then
+    invalid_arg (Printf.sprintf "Bitset.store_word: word %d out of range" i);
+  let m = if i = nw - 1 then pad_mask t else -1 in
+  t.words.(i) <- w land m
+
+let word_count t = Array.length t.words
+
 let iter f t =
   for wi = 0 to Array.length t.words - 1 do
     let w = ref t.words.(wi) in

@@ -58,6 +58,36 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 
+val union_into : into:t -> t -> unit
+(** In-place union: [union_into ~into b] ORs [b] into [into],
+    word-at-a-time, allocating nothing.  Padding bits of the final
+    word (positions [>= capacity]) are kept clear even if the operand
+    words carry junk there, so a bitset that shares word granularity
+    with a {!Plane} row never smuggles out-of-range bits across the
+    word-plane boundary.  Capacities must match. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s contents with [src]'s, in place.  Capacities
+    must match. *)
+
+val bpw : int
+(** Usable bits per word (62: every word is a non-negative OCaml
+    immediate). *)
+
+val word_count : t -> int
+(** Number of backing words, [ceil (capacity / bpw)]. *)
+
+val load_word : t -> int -> int
+(** [load_word t i] is backing word [i] — the memberships of indices
+    [i*bpw .. i*bpw+bpw-1] as a packed non-negative int.  Raw word
+    access exists for bulk transfer to and from {!Plane} rows; indices
+    are unchecked beyond the array bound. *)
+
+val store_word : t -> int -> int -> unit
+(** [store_word t i w] overwrites backing word [i].  Bits of the last
+    word at positions [>= capacity] are masked off, preserving the
+    global invariant that padding stays clear (see {!union_into}). *)
+
 val iter : (int -> unit) -> t -> unit
 (** Elements in increasing order. *)
 

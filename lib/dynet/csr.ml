@@ -1,0 +1,88 @@
+open Ops
+
+(* Compressed sparse rows over a round graph's adjacency: one flat
+   [neighbors] array indexed by [offsets], rebuilt only when the round
+   graph actually changed.  [Graph] already keeps per-node rows; the
+   CSR flattens them into one allocation-stable buffer so the engine's
+   per-edge loop walks contiguous memory with no per-node array loads
+   and no per-round allocation on stable rounds.
+
+   The rebuild gate is delta-driven: [Stability] hands back the same
+   physical graph on stable rounds, [Graph.delta_counts]' merge walk
+   covers adversaries that rebuilt an identical edge set, and only a
+   round whose delta is non-empty pays the O(n + m) repack (into
+   buffers reused across rounds, grown geometrically). *)
+
+type t = {
+  n : int;
+  offsets : int array;
+  (* n + 1 entries; row v is neighbors.(offsets.(v)) .. exclusive end. *)
+  mutable neighbors : int array;
+  mutable m2 : int;
+  (* directed entry count currently packed = 2 * edges *)
+  mutable last : Graph.t option;
+  mutable rebuilds : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Csr.create: negative n";
+  {
+    n;
+    offsets = Array.make (n + 1) 0;
+    neighbors = [||];
+    m2 = 0;
+    last = None;
+    rebuilds = 0;
+  }
+
+let n t = t.n
+let entries t = t.m2
+let rebuilds t = t.rebuilds
+
+let rebuild t g =
+  let m2 = 2 * Graph.edge_count g in
+  if Array.length t.neighbors < m2 then
+    t.neighbors <- Array.make (max m2 (2 * Array.length t.neighbors)) 0;
+  let off = ref 0 in
+  for v = 0 to t.n - 1 do
+    t.offsets.(v) <- !off;
+    let row = Graph.neighbors g v in
+    let d = Array.length row in
+    Array.blit row 0 t.neighbors !off d;
+    off := !off + d
+  done;
+  t.offsets.(t.n) <- !off;
+  t.m2 <- m2;
+  t.rebuilds <- t.rebuilds + 1
+
+let update t g =
+  if Graph.n g <> t.n then
+    invalid_arg
+      (Printf.sprintf "Csr.update: graph has n = %d, csr has n = %d"
+         (Graph.n g) t.n);
+  let changed =
+    match t.last with
+    | None -> true
+    | Some prev ->
+        (not (prev == g))
+        &&
+        let inserted, removed = Graph.delta_counts ~prev ~cur:g in
+        inserted <> 0 || removed <> 0
+  in
+  if changed then rebuild t g;
+  (* Re-wrap only when the graph is actually new: the stable-round
+     path must not allocate, and [Some g] is a fresh block. *)
+  (match t.last with
+  | Some prev when prev == g -> ()
+  | Some _ | None -> t.last <- Some g);
+  changed
+
+let row_start t v = t.offsets.(v)
+let row_stop t v = t.offsets.(v + 1)
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+let neighbor t i = Array.unsafe_get t.neighbors i
+
+let iter_row t v f =
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f (Array.unsafe_get t.neighbors i)
+  done

@@ -1,0 +1,195 @@
+open Ops
+
+(* Word planes: [rows] packed bitsets of [width] bits each, stored in
+   one contiguous Bigarray of native ints, node-major.  The packing is
+   Bitset's (62 usable bits per word, every word a non-negative
+   immediate), so rows and Bitset values exchange whole words with
+   [Bitset.load_word]/[Bitset.store_word] and no re-shifting.
+
+   Bigarray int elements are unboxed native words: reads and writes in
+   the accessors below allocate nothing, which is what lets an engine
+   round loop over a plane run allocation-free.  Rows occupy whole
+   words and never share a word with a neighboring row, so two Domains
+   writing to different rows never touch the same memory word. *)
+
+let bpw = Bitset.bpw
+
+type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { data : buf; rows : int; width : int; wpr : int }
+
+let words_for width = (width + bpw - 1) / bpw
+
+let make_buf len : buf =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  Bigarray.Array1.fill b 0;
+  b
+
+let create ~rows ~width =
+  if rows < 0 then invalid_arg "Plane.create: negative rows";
+  if width < 0 then invalid_arg "Plane.create: negative width";
+  let wpr = words_for width in
+  { data = make_buf (max 1 (rows * wpr)); rows; width; wpr }
+
+let rows t = t.rows
+let width t = t.width
+let words_per_row t = t.wpr
+
+let clear t =
+  Bigarray.Array1.fill t.data 0
+
+let check_row t r op =
+  if r < 0 || r >= t.rows then
+    invalid_arg
+      (Printf.sprintf "Plane.%s: row %d out of range (rows=%d)" op r t.rows)
+
+let check_bit t i op =
+  if i < 0 || i >= t.width then
+    invalid_arg
+      (Printf.sprintf "Plane.%s: bit %d out of range (width=%d)" op i t.width)
+
+(* Hot-path accessors: row/bit arithmetic is explicit and the Bigarray
+   access is unsafe once our own range check has passed — a borrowed
+   slice (see [sub]) carries its own extent, so the check also fences
+   every operation inside the slice. *)
+
+let mem t r i =
+  check_row t r "mem";
+  check_bit t i "mem";
+  Bigarray.Array1.unsafe_get t.data ((r * t.wpr) + (i / bpw))
+  land (1 lsl (i mod bpw))
+  <> 0
+
+let set t r i =
+  check_row t r "set";
+  check_bit t i "set";
+  let w = (r * t.wpr) + (i / bpw) in
+  Bigarray.Array1.unsafe_set t.data w
+    (Bigarray.Array1.unsafe_get t.data w lor (1 lsl (i mod bpw)))
+
+(* Unchecked variants for the innermost engine loops, where the row is
+   a loop counter already bounded by the shard range.  Only meaningful
+   on root planes; slices should use the checked entry points. *)
+
+let unsafe_mem t r i =
+  Bigarray.Array1.unsafe_get t.data ((r * t.wpr) + (i / bpw))
+  land (1 lsl (i mod bpw))
+  <> 0
+
+let unsafe_set t r i =
+  let w = (r * t.wpr) + (i / bpw) in
+  Bigarray.Array1.unsafe_set t.data w
+    (Bigarray.Array1.unsafe_get t.data w lor (1 lsl (i mod bpw)))
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let row_popcount t r =
+  check_row t r "row_popcount";
+  let base = r * t.wpr in
+  let acc = ref 0 in
+  for i = 0 to t.wpr - 1 do
+    acc := !acc + popcount (Bigarray.Array1.unsafe_get t.data (base + i))
+  done;
+  !acc
+
+let row_clear t r =
+  check_row t r "row_clear";
+  let base = r * t.wpr in
+  for i = 0 to t.wpr - 1 do
+    Bigarray.Array1.unsafe_set t.data (base + i) 0
+  done
+
+(* {2 Bitset exchange}
+
+   Both directions copy whole words; neither side retains a reference
+   to the other's storage.  [extract_row] in particular must detach:
+   handing out a view of the plane words would alias a protocol
+   state's copy-on-write mask onto a mutable plane row, and the next
+   in-place round update (or the next run reusing the plane) would
+   rewrite history inside a supposedly persistent value. *)
+
+let load_row t r bs =
+  check_row t r "load_row";
+  if Bitset.capacity bs <> t.width then
+    invalid_arg
+      (Printf.sprintf "Plane.load_row: bitset capacity %d <> plane width %d"
+         (Bitset.capacity bs) t.width);
+  let base = r * t.wpr in
+  for i = 0 to t.wpr - 1 do
+    Bigarray.Array1.unsafe_set t.data (base + i) (Bitset.load_word bs i)
+  done
+
+let extract_row t r =
+  check_row t r "extract_row";
+  let bs = Bitset.create t.width in
+  let base = r * t.wpr in
+  for i = 0 to t.wpr - 1 do
+    Bitset.store_word bs i (Bigarray.Array1.unsafe_get t.data (base + i))
+  done;
+  bs
+
+let union_row_into t ~src ~dst =
+  check_row t src "union_row_into";
+  check_row t dst "union_row_into";
+  let sb = src * t.wpr and db = dst * t.wpr in
+  for i = 0 to t.wpr - 1 do
+    Bigarray.Array1.unsafe_set t.data (db + i)
+      (Bigarray.Array1.unsafe_get t.data (db + i)
+      lor Bigarray.Array1.unsafe_get t.data (sb + i))
+  done
+
+let union_row_from t r bs =
+  check_row t r "union_row_from";
+  if Bitset.capacity bs <> t.width then
+    invalid_arg "Plane.union_row_from: bitset capacity <> plane width";
+  let base = r * t.wpr in
+  for i = 0 to t.wpr - 1 do
+    Bigarray.Array1.unsafe_set t.data (base + i)
+      (Bigarray.Array1.unsafe_get t.data (base + i) lor Bitset.load_word bs i)
+  done
+
+(* {2 Borrowed slices} *)
+
+let sub t ~row ~rows:nrows =
+  check_row t row "sub";
+  if nrows < 0 || row + nrows > t.rows then
+    invalid_arg
+      (Printf.sprintf "Plane.sub: rows [%d, %d) exceed plane rows %d" row
+         (row + nrows) t.rows);
+  {
+    data = Bigarray.Array1.sub t.data (row * t.wpr) (nrows * t.wpr);
+    rows = nrows;
+    width = t.width;
+    wpr = t.wpr;
+  }
+
+(* {2 Pool} *)
+
+module Pool = struct
+  type t = { mutable backing : buf; mutable used : int }
+
+  let create ?(capacity_words = 1024) () =
+    { backing = make_buf (max 1 capacity_words); used = 0 }
+
+  let alloc p ~rows ~width =
+    if rows < 0 || width < 0 then invalid_arg "Plane.Pool.alloc";
+    let wpr = words_for width in
+    let need = max 1 (rows * wpr) in
+    let cap = Bigarray.Array1.dim p.backing in
+    if p.used + need > cap then begin
+      let cap' = max (p.used + need) (2 * cap) in
+      let backing' = make_buf cap' in
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub p.backing 0 p.used)
+        (Bigarray.Array1.sub backing' 0 p.used);
+      p.backing <- backing'
+    end;
+    let data = Bigarray.Array1.sub p.backing p.used need in
+    Bigarray.Array1.fill data 0;
+    p.used <- p.used + need;
+    { data; rows; width; wpr }
+
+  let reset p = p.used <- 0
+end

@@ -1,5 +1,19 @@
 open Dynet.Ops
 
+(* Optional struct-of-arrays capability (see the mli for the laws a
+   provider must satisfy): a protocol whose per-node state is exactly
+   "a bitset of known tokens" under a phased single-token broadcast
+   discipline describes itself here, and the SoA engine specializes
+   its whole round loop onto flat word planes.  Protocols leave it
+   [None] to run on the generic paths of every engine. *)
+type ('s, 'm) plane_spec = {
+  width : 's -> int;
+  phase_of : 's -> round:int -> int;
+  message : 's -> int -> 'm;
+  mask : 's -> Dynet.Bitset.t;
+  restate : 's -> mask:Dynet.Bitset.t -> known:int -> 's;
+}
+
 module type PROTOCOL = sig
   type state
   type msg
@@ -11,6 +25,7 @@ module type PROTOCOL = sig
     state -> round:int -> inbox:(Dynet.Node_id.t * msg) list -> state
 
   val progress : state -> int
+  val plane : (state, msg) plane_spec option
 end
 
 type ('state, 'msg) adversary =

@@ -10,6 +10,41 @@
     neighbor count.  A node learns (a subset of) its neighbors only
     from the messages it receives: silent neighbors stay invisible. *)
 
+type ('s, 'm) plane_spec = {
+  width : 's -> int;  (** Token-catalog size [k], constant over a run. *)
+  phase_of : 's -> round:int -> int;
+      (** The single token index flooded in the given round; a pure
+          function of run constants in the state and the round. *)
+  message : 's -> int -> 'm;
+      (** The broadcast payload carrying token [p].  Must depend only
+          on run constants, so any node's state may evaluate it. *)
+  mask : 's -> Dynet.Bitset.t;
+      (** Read-only view of the node's known-token bitset (capacity
+          [width]). *)
+  restate : 's -> mask:Dynet.Bitset.t -> known:int -> 's;
+      (** Rebuild a node state around a new mask with
+          [known = cardinal mask].  The state takes ownership of
+          [mask]. *)
+}
+(** The struct-of-arrays capability: a protocol provides it to assert
+    that its behaviour is {e exactly} the phased flooding induced by
+    the record —
+
+    - [intent st ~round] returns
+      [(st, Some (message st (phase_of st ~round)))] iff
+      [mask st] contains [phase_of st ~round], and [(st, None)]
+      otherwise ([intent] never changes the state);
+    - [receive] folds the inbox learning only the carried token of
+      each message into the mask;
+    - [progress st = Bitset.cardinal (mask st)];
+    - states share no mutable structure across nodes.
+
+    Under these laws an engine may keep the masks in a flat word plane
+    and reproduce runs bit-identically without materialising intents,
+    inboxes, or per-round state records ({!Soa} does).  The laws are
+    differentially enforced: the fuzz harness runs the SoA kernel
+    against this generic runner on the same cases. *)
+
 module type PROTOCOL = sig
   type state
   type msg
@@ -28,6 +63,9 @@ module type PROTOCOL = sig
   val progress : state -> int
   (** Number of tokens this node currently knows (drives the
       token-learning accounting of Definition 1.4). *)
+
+  val plane : (state, msg) plane_spec option
+  (** The SoA capability, or [None] to always run generically. *)
 end
 
 type ('state, 'msg) adversary =

@@ -40,6 +40,11 @@ module type PROTOCOL = sig
   val progress : state -> int
 end
 
+val mem_sorted : Dynet.Node_id.t array -> Dynet.Node_id.t -> bool
+(** Binary search in a sorted neighbor row — the membership test behind
+    the non-neighbor protocol check, shared with the {!Soa} engine's
+    sequential replay so both engines reject exactly the same sends. *)
+
 type traffic = (Dynet.Node_id.t * Dynet.Node_id.t * Msg_class.t) list
 (** Last round's [(src, dst, class)] sends — what an adaptive adversary
     observed on the wire (e.g. {!Adversary.Request_cutter} deletes the

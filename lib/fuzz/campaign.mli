@@ -1,10 +1,13 @@
 (** A fuzz campaign: generate, diff, shrink, save.
 
     [run ~runs ~seed ()] feeds cases [0 .. runs-1] of campaign [seed]
-    (see {!Gen}) through both engines — by default the pseudocode
-    {!Engine.Reference} against the optimized {!Engine.Default} — and
-    collects every divergence, each minimized by {!Shrink} against the
-    predicate "the engines still diverge".
+    (see {!Gen}) through two engines and collects every divergence,
+    each minimized by {!Shrink} against the predicate "the engines
+    still diverge".  When neither engine is pinned the pairing is a
+    generated per-case dimension ({!Gen.engine_pair}): pseudocode
+    {!Engine.Reference} against the optimized {!Engine.Default} on a
+    quarter of cases, the struct-of-arrays {!Engine.Soa} at shard
+    counts 1/2/4 against {!Engine.Default} on the rest.
 
     Cases run through {!Analysis.Sweep.map_span} ([?jobs]), one case
     per point: each case (and its shrink, which happens inside the
@@ -44,7 +47,10 @@ val run :
   outcome
 (** [?flooding_b] substitutes the flooding implementation on the [b]
     side (the mutation smoke test); [?shrink_budget] caps predicate
-    evaluations per mismatch (default: {!Shrink.minimize}'s). *)
+    evaluations per mismatch (default: {!Shrink.minimize}'s).
+    Pinning exactly one engine pins the pairing: the other side
+    defaults to {!Engine.Default} (for [?engine_a]) or
+    {!Engine.Reference} (for [?engine_b]). *)
 
 val save_corpus : dir:string -> outcome -> string list
 (** Write every mismatch's shrunk pair under [dir] (created if

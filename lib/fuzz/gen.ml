@@ -71,6 +71,20 @@ let faults rng : Scenario.Spec.faults option =
         fault_seed = None;
       }
 
+(* The differential pairing is a case dimension too: a quarter of the
+   corpus runs Reference-vs-Default (the original pseudocode check),
+   the rest runs Soa-vs-Default at shard counts 1, 2 and 4 — so every
+   campaign exercises the plane kernel, the sharded unicast path, and
+   real multi-domain barriers on the same tiny instances.  Drawn from
+   a salted stream so adding the dimension shifted no case input. *)
+let engine_pair ~seed ~id =
+  let rng = Dynet.Rng.make ~seed:(case_seed ~seed ~id lxor 0x50a) in
+  match Dynet.Rng.int rng 4 with
+  | 0 -> (Engine.Reference.engine, Engine.Default.engine)
+  | 1 -> (Engine.Soa.engine (), Engine.Default.engine)
+  | 2 -> (Engine.Soa.engine ~shards:2 (), Engine.Default.engine)
+  | _ -> (Engine.Soa.engine ~shards:4 (), Engine.Default.engine)
+
 let case ~seed ~id =
   let cseed = case_seed ~seed ~id in
   let rng = Dynet.Rng.make ~seed:cseed in

@@ -25,3 +25,14 @@ val case : seed:int -> id:int -> Case.t
     [1 <= k <= 6], algorithm uniform over the three differential
     algorithms, [1 <= s <= min n k] for multi-source, 1–12 round
     graphs, round cap 8–127. *)
+
+val engine_pair :
+  seed:int ->
+  id:int ->
+  (module Engine.Engine_sig.ENGINE) * (module Engine.Engine_sig.ENGINE)
+(** The differential pairing for the [id]-th case, drawn from a salted
+    stream of the same per-case seed (so the pairing dimension never
+    shifts case inputs): [Reference]-vs-[Default] on a quarter of
+    draws, [Soa]-vs-[Default] at shard counts 1, 2 and 4 on the rest.
+    Campaigns that pass no explicit engines use this, making every
+    fuzz run a three-engine differential. *)

@@ -73,6 +73,10 @@ let flooding ~bug : (module Diff.FLOODING) =
           st inbox
 
       let progress st = st.known_count
+
+      (* Deliberately generic: the mutant must exercise the engines'
+         ordinary protocol path, not the plane kernel. *)
+      let plane = None
     end
 
     let protocol =

@@ -72,6 +72,10 @@ module P = struct
     st
 
   let progress st = Gf2.Basis.rank st.basis
+
+  (* Coded packets are random GF(2) combinations, not single catalog
+     tokens; the plane contract cannot describe them. *)
+  let plane = None
 end
 
 let protocol =

@@ -48,6 +48,22 @@ module P = struct
       st inbox
 
   let progress st = st.known_count
+
+  (* The SoA capability: phased flooding is exactly the shape the
+     plane kernel specializes, and every law in the spec's contract
+     holds by construction — [intent] is read-only, [receive] learns
+     only the carried token, [progress] is the mask's cardinal, and
+     the shared catalog is immutable. *)
+  let plane =
+    Some
+      {
+        Engine.Runner_broadcast.width = (fun st -> st.k);
+        phase_of = (fun st ~round -> (round - 1) / st.phase_len mod st.k);
+        message = (fun st p -> Payload.Token_msg st.catalog.(p));
+        mask = (fun st -> st.mask);
+        restate =
+          (fun st ~mask ~known -> { st with mask; known_count = known });
+      }
 end
 
 let protocol =

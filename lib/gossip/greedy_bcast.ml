@@ -63,6 +63,10 @@ module P = struct
       st inbox
 
   let progress st = known_count st
+
+  (* Greedy policies broadcast whole-state-dependent choices, not a
+     fixed per-phase token, so the SoA plane contract does not hold. *)
+  let plane = None
 end
 
 let protocol =

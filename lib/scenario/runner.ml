@@ -130,7 +130,7 @@ let rw_report (spec : Spec.t) ~name ~n ~seed (r : Gossip.Oblivious_rw.result)
         ])
     as_run_result
 
-let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
+let run_point (spec : Spec.t) ?engine ~trace ~n ~prof ~seed () =
   let name =
     spec.name ^ "/" ^ Spec.algorithm_name spec.algorithm ^ "/seed="
     ^ string_of_int seed
@@ -164,20 +164,20 @@ let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
   match spec.algorithm with
   | Spec.Flooding ->
       let result, _ =
-        Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+        Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ?engine
+          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Single_source ->
       let result, _ =
-        Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+        Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ?engine
+          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Multi_source ->
       let result, _ =
-        Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ~faults
-          ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+        Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ?engine
+          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Oblivious_rw ->
@@ -187,7 +187,7 @@ let run_point (spec : Spec.t) ~trace ~n ~prof ~seed =
       in
       rw_report spec ~name ~n ~seed r
 
-let run ?jobs ?base_dir ?prof (spec : Spec.t) =
+let run ?jobs ?base_dir ?prof ?engine (spec : Spec.t) =
   match resolve_trace ?base_dir spec with
   | Error e -> Error e
   | Ok trace -> (
@@ -204,5 +204,6 @@ let run ?jobs ?base_dir ?prof (spec : Spec.t) =
           Ok
             (Analysis.Sweep.map_span ?jobs ?prof
                ~name:("scenario/" ^ spec.name)
-               (fun ~prof seed -> run_point spec ~trace ~n ~prof ~seed)
+               (fun ~prof seed ->
+                 run_point spec ?engine ~trace ~n ~prof ~seed ())
                seeds))

@@ -55,9 +55,17 @@ val resolve_trace :
     when both are present. *)
 
 val run :
-  ?jobs:int -> ?base_dir:string -> ?prof:Obs.Span.t -> Spec.t ->
+  ?jobs:int ->
+  ?base_dir:string ->
+  ?prof:Obs.Span.t ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
+  Spec.t ->
   (Obs.Report.t array, string) result
 (** Execute every repeat and return the run reports in repeat order.
+    [?engine] (default {!Engine.Default.engine}) selects the execution
+    engine for the engine-parametric algorithms (flooding,
+    single-source, multi-source); reports are engine-independent, so
+    passing {!Engine.Soa.engine} changes only the wall-clock.
     [?prof] (default {!Obs.Span.null}) profiles the whole run as one
     {!Analysis.Sweep.map_span} sweep named [scenario/<name>]: each
     repeat is a [point] span, and the engine round/phase spans of the

@@ -8,7 +8,14 @@
    1. Roots: any file whose token stream applies [Sweep.map] /
       [Sweep.map_timed] / [Sweep.map_span] / [Sweep.run] holds worker
       closures, so every module that file references (plus the file
-      itself) is a root.
+      itself) is a root.  [Shard_pool.run] / [Shard_pool.create] /
+      [Shard_pool.with_pool] call sites root the walk the same way:
+      the SoA engine's intra-run shard jobs execute on pool domains
+      exactly like Sweep's point closures, so everything they can
+      reach joins the closure.  (The jobs' writes into their owned
+      node-range slices of planes and staging buffers are the
+      sanctioned pattern — per-call state threaded in by the engine,
+      invisible to this top-level scan by construction.)
    2. Reachability: module A depends on module B if B's name appears
       anywhere in A's token stream (constructors inflate this set —
       that is the safe direction).  The worker-reachable set is the
@@ -25,6 +32,7 @@
    [(* dynlint: domain-safe — <reason> *)] waiver. *)
 
 let sweep_fns = [ "map"; "map_timed"; "map_span"; "run" ]
+let shard_pool_fns = [ "run"; "create"; "with_pool" ]
 
 (* {2 Mutable-creation classification} *)
 
@@ -180,7 +188,9 @@ let check ~(files : Source_file.t list) =
     ml_files;
   let roots =
     List.filter
-      (fun s -> Source_file.calls s ~modname:"Sweep" ~fns:sweep_fns)
+      (fun s ->
+        Source_file.calls s ~modname:"Sweep" ~fns:sweep_fns
+        || Source_file.calls s ~modname:"Shard_pool" ~fns:shard_pool_fns)
       ml_files
   in
   let reachable : (string, unit) Hashtbl.t = Hashtbl.create 64 in

@@ -22,7 +22,11 @@ let default_config =
         "lib/scenario/";
       ];
     print_allowed = [ "lib/obs/"; "bin/"; "bench/" ];
-    physeq_allowed = [ "lib/dynet/graph.ml"; "lib/dynet/stability.ml" ];
+    physeq_allowed =
+      [
+      "lib/dynet/graph.ml"; "lib/dynet/stability.ml"; "lib/dynet/csr.ml";
+      "lib/engine/soa.ml";
+    ];
     mli_required = [ "lib/" ];
   }
 

@@ -4,6 +4,7 @@ let () =
       ("dynet", Test_dynet.suite);
       ("fastpath", Test_fastpath.suite);
       ("engine", Test_engine.suite);
+      ("soa", Test_soa.suite);
       ("adversary", Test_adversary.suite);
       ("gossip", Test_gossip.suite);
       ("protocols", Test_protocols.suite);

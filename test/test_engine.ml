@@ -226,6 +226,7 @@ module Toy_bcast = struct
       st inbox
 
   let progress st = List.length st.known
+  let plane = None
 end
 
 let toy_bcast_protocol =

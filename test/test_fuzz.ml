@@ -79,6 +79,30 @@ let test_spec_roundtrip () =
               (report c) (report c'))
   done
 
+let test_engine_pair () =
+  (* The pairing dimension is part of the case stream: deterministic
+     per (seed, id), b-side always the fastpath engine, and all four
+     a-sides drawn within a small window. *)
+  let name_of (module E : Engine.Engine_sig.ENGINE) = E.name in
+  let seen = Hashtbl.create 8 in
+  for id = 0 to 99 do
+    let a, b = Fuzz.Gen.engine_pair ~seed:0 ~id in
+    let a', b' = Fuzz.Gen.engine_pair ~seed:0 ~id in
+    check Alcotest.(pair string string)
+      (Printf.sprintf "case %d: same pairing on regeneration" id)
+      (name_of a, name_of b)
+      (name_of a', name_of b');
+    check Alcotest.string
+      (Printf.sprintf "case %d: checked against the fastpath engine" id)
+      Engine.Default.name (name_of b);
+    Hashtbl.replace seen (name_of a) ()
+  done;
+  List.iter
+    (fun a ->
+      check Alcotest.bool (a ^ " drawn within 100 cases") true
+        (Hashtbl.mem seen a))
+    [ Engine.Reference.name; "soa"; "soa-2"; "soa-4" ]
+
 (* {2 The differential property} *)
 
 let test_differential_batch () =
@@ -141,6 +165,47 @@ let test_mutation_smoke () =
               ~engine_b:Engine.Default.engine sh)))
     outcome.Fuzz.Campaign.mismatches
 
+let test_soa_boundary_mutant () =
+  (* The sharded engine's seeded mutant: shard 1's span starts one
+     node late, silently dropping one node on the 0/1 boundary.  The
+     campaign (Default pinned on the a-side against the buggy soa-2)
+     must find it and shrink the counterexamples small. *)
+  let metrics = Obs.Metrics.create () in
+  let buggy = Engine.Soa.make ~shards:2 ~boundary_bug:true () in
+  let outcome =
+    Fuzz.Campaign.run ~engine_a:Engine.Default.engine ~engine_b:buggy ~jobs:2
+      ~metrics ~shrink_budget:200 ~runs:40 ~seed:6 ()
+  in
+  check Alcotest.bool
+    "the shard-boundary off-by-one is found within 40 cases" true
+    (outcome.Fuzz.Campaign.mismatches <> []);
+  check Alcotest.bool "shrinking spent work" true
+    (Obs.Metrics.counter metrics "fuzz/shrink_steps" > 0);
+  List.iter
+    (fun (m : Fuzz.Campaign.mismatch) ->
+      let sh = m.Fuzz.Campaign.shrunk in
+      let id = m.Fuzz.Campaign.case.Fuzz.Case.id in
+      check Alcotest.bool
+        (Printf.sprintf "case %d: shrunk to at most 8 nodes / 8 rounds" id)
+        true
+        (sh.Fuzz.Case.n <= 8 && Fuzz.Case.period sh <= 8);
+      check Alcotest.bool
+        (Printf.sprintf
+           "case %d: shrunk case still diverges under the boundary bug" id)
+        true
+        (Option.is_some
+           (Fuzz.Diff.check ~engine_a:Engine.Default.engine ~engine_b:buggy
+              sh));
+      check Alcotest.bool
+        (Printf.sprintf "case %d: shrunk case agrees with the clean soa-2"
+           id)
+        true
+        (Option.is_none
+           (Fuzz.Diff.check ~engine_a:Engine.Default.engine
+              ~engine_b:(Engine.Soa.engine ~shards:2 ())
+              sh)))
+    outcome.Fuzz.Campaign.mismatches
+
 let test_corpus_saving () =
   let mutant = Fuzz.Mutant.flooding ~bug:true in
   let outcome =
@@ -192,6 +257,7 @@ module Idle = struct
   let intent st ~round:_ = (st, None)
   let receive st ~round:_ ~inbox:_ = st
   let progress _ = 0
+  let plane = None
 end
 
 let test_stalled_engines_agree () =
@@ -277,12 +343,16 @@ let suite =
     Alcotest.test_case "gen: deterministic" `Quick test_gen_deterministic;
     Alcotest.test_case "gen: valid cases" `Quick test_gen_valid;
     Alcotest.test_case "gen: spec round-trip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "gen: engine pairing dimension" `Quick
+      test_engine_pair;
     Alcotest.test_case "diff: 60-case batch clean" `Quick
       test_differential_batch;
     Alcotest.test_case "mutant: faithful copy diffs clean" `Quick
       test_mutant_control;
     Alcotest.test_case "mutant: off-by-one found and shrunk" `Quick
       test_mutation_smoke;
+    Alcotest.test_case "mutant: shard boundary found and shrunk" `Quick
+      test_soa_boundary_mutant;
     Alcotest.test_case "corpus: save and reload" `Quick test_corpus_saving;
     Alcotest.test_case "engines: stall detector agrees" `Quick
       test_stalled_engines_agree;

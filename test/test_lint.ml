@@ -345,6 +345,27 @@ let test_domain_safety_map_span_is_root () =
         "a map_span call site roots the audit" [ "domain-safety" ]
         (rules (Driver.run [ lib ]).Driver.violations))
 
+(* The SoA engine's shard jobs run on pool domains exactly like Sweep
+   point closures, so [Shard_pool.run]/[create]/[with_pool] call sites
+   root the reachability walk the same way. *)
+let test_domain_safety_shard_pool_is_root () =
+  with_fixture_tree
+    [
+      ( "pooluser.ml",
+        "let go spans =\n\
+        \  Engine.Shard_pool.with_pool ~spans (fun pool ->\n\
+        \      Engine.Shard_pool.run pool (fun ~shard:_ ~lo ~hi ->\n\
+        \          ignore (Helper.calc (hi - lo))))\n" );
+      ("pooluser.mli", "val go : (int * int) array -> unit\n");
+      ("helper.ml", "let cache = ref 0\n\nlet calc x = x + !cache\n");
+      ("helper.mli", "val cache : int ref\n\nval calc : int -> int\n");
+    ]
+    (fun lib ->
+      check
+        Alcotest.(list string)
+        "a Shard_pool call site roots the audit" [ "domain-safety" ]
+        (rules (Driver.run [ lib ]).Driver.violations))
+
 (* {2 Regression: the shipped tree is violation-free} *)
 
 let test_shipped_tree_clean () =
@@ -365,7 +386,8 @@ let test_shipped_tree_clean () =
         (List.mem id report.Driver.sweep_reachable))
     [ "lib/analysis/sweep.ml"; "lib/gossip/single_source.ml";
       "lib/engine/runner_unicast.ml"; "lib/fuzz/campaign.ml";
-      "lib/fuzz/diff.ml"; "lib/engine/reference.ml" ]
+      "lib/fuzz/diff.ml"; "lib/engine/reference.ml"; "lib/engine/soa.ml";
+      "lib/engine/shard_pool.ml"; "lib/dynet/plane.ml"; "lib/dynet/csr.ml" ]
 
 let suite =
   [
@@ -387,6 +409,8 @@ let suite =
     Alcotest.test_case "domain-safety: waiver" `Quick test_domain_safety_waiver;
     Alcotest.test_case "domain-safety: map_span roots" `Quick
       test_domain_safety_map_span_is_root;
+    Alcotest.test_case "domain-safety: shard-pool roots" `Quick
+      test_domain_safety_shard_pool_is_root;
     Alcotest.test_case "domain-safety: mutable kinds" `Quick
       test_domain_safety_mutable_kinds;
     Alcotest.test_case "shipped tree is clean" `Quick test_shipped_tree_clean;

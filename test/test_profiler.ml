@@ -528,6 +528,20 @@ let test_baseline_noise_floor () =
   check Alcotest.bool "crossing the floor still regresses" true
     (Analysis.Baseline.regressed c')
 
+let test_baseline_shard_count () =
+  (* Pre-SoA summaries carry no "shards" field and were all sequential:
+     they must parse as shards = 1, and an explicit count round-trips. *)
+  let old = parse_summary (summary_json ~e1:10. ~ns:"1000.0") in
+  check Alcotest.int "absent shards field reads as sequential" 1
+    old.Analysis.Baseline.shards;
+  let sharded =
+    parse_summary
+      {|{"schema":"dynspread-bench/v1","seed":42,"shards":4,
+         "benchmarks":[],"experiments":[]}|}
+  in
+  check Alcotest.int "explicit shard count round-trips" 4
+    sharded.Analysis.Baseline.shards
+
 let test_baseline_rejects_other_schemas () =
   (match
      Obs.Json.of_string {|{"schema":"something-else/v9"}|}
@@ -574,6 +588,7 @@ let suite =
     ("baseline improvement and missing", `Quick,
      test_baseline_improvement_and_missing);
     ("baseline noise floor", `Quick, test_baseline_noise_floor);
+    ("baseline shard count", `Quick, test_baseline_shard_count);
     ("baseline rejects other schemas", `Quick,
      test_baseline_rejects_other_schemas);
   ]
