@@ -23,18 +23,17 @@
 
 open Bechamel
 open Toolkit
+open Dynet.Ops
 
 let seed = 42
 
-let print_table t =
-  print_string (Analysis.Table.render t);
-  print_newline ()
+let print_table t = Obs.Console.out (Analysis.Table.render t)
 
 (* {2 Part 1: the paper's tables and figures} *)
 
 let run_tables ~jobs ~metrics () =
-  print_endline "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
-  print_newline ();
+  Obs.Console.out "=== Part 1: paper artifacts (DESIGN.md experiment index) ===";
+  Obs.Console.out "";
   List.iter print_table
     (Analysis.Experiments.all ~jobs ~metrics ~seed ());
   (* E17 lives in the scenario library (it exercises the importer and
@@ -329,8 +328,8 @@ let normalize_row (name, ns) =
 (* Runs the micro-benchmarks, prints the human table, and returns the
    [(name, ns_per_run)] rows for the JSON summary. *)
 let run_bechamel ~shards () =
-  print_endline "=== Part 2: Bechamel micro-benchmarks (time per run) ===";
-  print_newline ();
+  Obs.Console.out "=== Part 2: Bechamel micro-benchmarks (time per run) ===";
+  Obs.Console.out "";
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
       ~stabilize:false ()
@@ -424,7 +423,7 @@ let write_results ~out ~shards ~bench_rows ~metrics =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> Obs.Json.to_channel oc json);
-  Printf.printf "wrote %s\n" out
+  Obs.Console.out (Printf.sprintf "wrote %s" out)
 
 (* {2 Profile artifacts: E1/E4/E7 under an active profiler} *)
 
@@ -446,7 +445,8 @@ let write_profiles ~jobs ~dir =
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () -> Obs.Span.write prof oc Obs.Span.Chrome);
-      Printf.printf "wrote %s (%d spans)\n" path (Obs.Span.span_count prof))
+      Obs.Console.out
+        (Printf.sprintf "wrote %s (%d spans)" path (Obs.Span.span_count prof)))
     profiled_experiments
 
 (* {2 Baseline compare (the CI perf gate)} *)
@@ -460,8 +460,9 @@ let compare_against ~out ~baseline_path ~tolerance ~tables_ran ~bechamel_ran =
       (* The sharded entries measure a specific parallelism; diffing a
          4-shard run against a 1-shard baseline would gate on the shard
          count, not the code.  Report both and refuse on mismatch. *)
-      Printf.printf "shards: %d (baseline %d)\n"
-        current.Analysis.Baseline.shards baseline.Analysis.Baseline.shards;
+      Obs.Console.out
+        (Printf.sprintf "shards: %d (baseline %d)"
+           current.Analysis.Baseline.shards baseline.Analysis.Baseline.shards);
       if current.Analysis.Baseline.shards <> baseline.Analysis.Baseline.shards
       then begin
         Obs.Console.error
@@ -498,7 +499,7 @@ let compare_against ~out ~baseline_path ~tolerance ~tables_ran ~bechamel_ran =
         Analysis.Baseline.diff ~floor ~tolerance_pct:tolerance ~baseline
           ~current ()
       in
-      List.iter print_endline (Analysis.Baseline.render c);
+      List.iter Obs.Console.out (Analysis.Baseline.render c);
       if Analysis.Baseline.regressed c then exit 1
 
 let usage () =

@@ -115,11 +115,9 @@ let shards_arg =
 
 let print_table ~csv t =
   if csv then (
-    print_endline (Analysis.Table.to_csv t);
-    print_newline ())
-  else (
-    print_string (Analysis.Table.render t);
-    print_newline ())
+    Obs.Console.out (Analysis.Table.to_csv t);
+    Obs.Console.out "")
+  else Obs.Console.out (Analysis.Table.render t)
 
 (* {2 Fault-injection flags}
 
@@ -223,8 +221,11 @@ let fault_plan ~loss ~dup ~crash ~restart ~max_delay ~fault_seed ~seed =
    engine-parametric. *)
 let resolve_engine ~engine ~shards =
   if shards < 1 then bad_flag "--shards %d must be >= 1" shards;
-  if shards > 1 && engine <> Eng_soa then
-    bad_flag "--shards %d applies to --engine soa only" shards;
+  (match engine with
+  | Eng_soa -> ()
+  | _ ->
+      if shards > 1 then
+        bad_flag "--shards %d applies to --engine soa only" shards);
   match engine with
   | Eng_fastpath -> None
   | Eng_reference -> Some Engine.Reference.engine
@@ -378,7 +379,7 @@ let timeline_arg =
            (round,messages,learnings) for plotting.")
 
 let print_json_report report =
-  print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+  Obs.Console.out (Obs.Json.to_string (Obs.Report.to_json report))
 
 let report_run ?(timeline = false) ?(json = false) ?retransmits ~name ~n ~k
     (result : Engine.Run_result.t) =
@@ -399,23 +400,30 @@ let report_run ?(timeline = false) ?(json = false) ?retransmits ~name ~n ~k
            | Some r -> [ ("retransmits", Obs.Json.Int r) ])
          result)
   else begin
-    Format.printf "@[<v>%a@]@." Engine.Run_result.pp result;
-    Format.printf "amortized per token: %.2f@."
-      (Engine.Ledger.amortized ledger ~k);
-    Format.printf
-      "adversary-competitive (alpha=1): %.0f  [budget n^2+nk = %.0f]@."
-      (Engine.Ledger.competitive_cost ledger ~alpha:1.)
-      (Gossip.Bounds.single_source_budget ~n ~k);
-    Format.printf "per-node load: max %d, mean %.1f@."
-      (Engine.Ledger.max_load ledger)
-      (Engine.Ledger.mean_load ledger);
+    Obs.Console.out (Format.asprintf "@[<v>%a@]" Engine.Run_result.pp result);
+    Obs.Console.out
+      (Printf.sprintf "amortized per token: %.2f"
+         (Engine.Ledger.amortized ledger ~k));
+    Obs.Console.out
+      (Printf.sprintf
+         "adversary-competitive (alpha=1): %.0f  [budget n^2+nk = %.0f]"
+         (Engine.Ledger.competitive_cost ledger ~alpha:1.)
+         (Gossip.Bounds.single_source_budget ~n ~k));
+    Obs.Console.out
+      (Printf.sprintf "per-node load: max %d, mean %.1f"
+         (Engine.Ledger.max_load ledger)
+         (Engine.Ledger.mean_load ledger));
     (match retransmits with
     | None -> ()
-    | Some r -> Format.printf "reliability wrapper: %d retransmissions@." r);
+    | Some r ->
+        Obs.Console.out
+          (Printf.sprintf "reliability wrapper: %d retransmissions" r));
     if timeline then begin
-      Format.printf "@.round,messages,learnings@.";
+      Obs.Console.out "";
+      Obs.Console.out "round,messages,learnings";
       List.iter
-        (fun (r, msgs, learned) -> Format.printf "%d,%d,%d@." r msgs learned)
+        (fun (r, msgs, learned) ->
+          Obs.Console.out (Printf.sprintf "%d,%d,%d" r msgs learned))
         result.timeline
     end
   end
@@ -536,9 +544,10 @@ let run_cmd =
         if not json then begin
           let history = Adversary.Broadcast_lb.history lb in
           let max_c = List.fold_left (fun a (_, c) -> max a c) 0 history in
-          Format.printf
-            "lower-bound adversary: max free components %d (log n = %.1f)@."
-            max_c (Gossip.Bounds.logn n)
+          Obs.Console.out
+            (Printf.sprintf
+               "lower-bound adversary: max free components %d (log n = %.1f)"
+               max_c (Gossip.Bounds.logn n))
         end;
         `Ok ()
     | _, (Env_cutter | Env_lb) ->
@@ -571,17 +580,19 @@ let run_cmd =
                 in
                 if json then print_json_report (rw_report ~name ~k r)
                 else begin
-                  Format.printf
-                    "@[<v>algorithm 2: centers=%d phase1=%d rounds (settled: \
-                     %b) phase2=%d rounds completed=%b@ %a@]@."
-                    r.Gossip.Oblivious_rw.centers
-                    r.Gossip.Oblivious_rw.phase1_rounds
-                    r.Gossip.Oblivious_rw.phase1_settled
-                    r.Gossip.Oblivious_rw.phase2_rounds
-                    r.Gossip.Oblivious_rw.completed Engine.Ledger.pp
-                    r.Gossip.Oblivious_rw.ledger;
-                  Format.printf "paper messages (sans center chatter): %d@."
-                    r.Gossip.Oblivious_rw.paper_messages
+                  Obs.Console.out
+                    (Format.asprintf
+                       "@[<v>algorithm 2: centers=%d phase1=%d rounds \
+                        (settled: %b) phase2=%d rounds completed=%b@ %a@]"
+                       r.Gossip.Oblivious_rw.centers
+                       r.Gossip.Oblivious_rw.phase1_rounds
+                       r.Gossip.Oblivious_rw.phase1_settled
+                       r.Gossip.Oblivious_rw.phase2_rounds
+                       r.Gossip.Oblivious_rw.completed Engine.Ledger.pp
+                       r.Gossip.Oblivious_rw.ledger);
+                  Obs.Console.out
+                    (Printf.sprintf "paper messages (sans center chatter): %d"
+                       r.Gossip.Oblivious_rw.paper_messages)
                 end;
                 `Ok ()))
   in
@@ -628,7 +639,9 @@ let experiments_cmd =
   let run ids csv seed jobs timings profile check =
     Check.set_enabled check;
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
-    let selected = if ids = [] then List.map snd experiment_names else ids in
+    let selected =
+      match ids with [] -> List.map snd experiment_names | _ :: _ -> ids
+    in
     with_profile profile @@ fun prof ->
     List.iter
       (fun id ->
@@ -827,7 +840,7 @@ let sweep_cmd =
     if not !ok then
       `Error (false, "this protocol/environment combination cannot be swept")
     else if json then begin
-      print_endline
+      Obs.Console.out
         (Obs.Json.to_string
            (Obs.Json.List
               (List.rev_map Obs.Report.to_json !reports)));
@@ -895,7 +908,8 @@ let scenario_run_cmd =
         exit 2
     | Ok reports ->
         Array.iter
-          (fun r -> print_endline (Obs.Json.to_string (Obs.Report.to_json r)))
+          (fun r ->
+            Obs.Console.out (Obs.Json.to_string (Obs.Report.to_json r)))
           reports
   in
   Cmd.v
@@ -1227,7 +1241,7 @@ let fuzz_cmd =
     let saved = Fuzz.Campaign.save_corpus ~dir:corpus outcome in
     let mismatches = outcome.Fuzz.Campaign.mismatches in
     if json then
-      print_endline
+      Obs.Console.out
         (Obs.Json.to_string
            (Obs.Json.Obj
               [

@@ -17,6 +17,7 @@ let copy t = { t with words = Array.copy t.words }
 
 let mem t i =
   i >= 0 && i < t.cap && t.words.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+[@@dynlint.hot]
 
 let check t i op =
   if i < 0 || i >= t.cap then
@@ -25,12 +26,13 @@ let check t i op =
 let set t i =
   check t i "set";
   t.words.(i / bpw) <- t.words.(i / bpw) lor (1 lsl (i mod bpw))
+[@@dynlint.hot]
 
 let unset t i =
   check t i "unset";
   t.words.(i / bpw) <- t.words.(i / bpw) land lnot (1 lsl (i mod bpw))
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t = Array.fill t.words 0 (Array.length t.words) 0 [@@dynlint.hot]
 
 let add i t =
   check t i "add";
@@ -56,6 +58,7 @@ let remove i t =
 let popcount w =
   let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
   go w 0
+[@@dynlint.hot]
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
@@ -110,7 +113,7 @@ let blit ~src ~dst =
   check_caps src dst "blit";
   Array.blit src.words 0 dst.words 0 (Array.length src.words)
 
-let load_word t i = t.words.(i)
+let load_word t i = t.words.(i) [@@dynlint.hot]
 
 let store_word t i w =
   let nw = Array.length t.words in
@@ -176,6 +179,7 @@ let next_set t i =
     done;
     min !r t.cap
   end
+[@@dynlint.hot]
 
 let next_clear t i =
   let i = max i 0 in
@@ -203,6 +207,7 @@ let next_clear t i =
     done;
     min !r t.cap
   end
+[@@dynlint.hot]
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>{%a}@]"

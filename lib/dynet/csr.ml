@@ -77,12 +77,18 @@ let update t g =
   | Some _ | None -> t.last <- Some g);
   changed
 
-let row_start t v = t.offsets.(v)
-let row_stop t v = t.offsets.(v + 1)
-let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+let row_start t v = t.offsets.(v) [@@dynlint.hot]
+let row_stop t v = t.offsets.(v + 1) [@@dynlint.hot]
+let degree t v = t.offsets.(v + 1) - t.offsets.(v) [@@dynlint.hot]
+
 let neighbor t i = Array.unsafe_get t.neighbors i
+[@@dynlint.hot]
+[@@dynlint.unsafe_ok "caller contract: i lies in [row_start v, row_stop v) \
+                      of the same rebuild, and offsets end at the length \
+                      of neighbors"]
 
 let iter_row t v f =
   for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
     f (Array.unsafe_get t.neighbors i)
   done
+[@@dynlint.hot]

@@ -59,6 +59,7 @@ let mem t r i =
   Bigarray.Array1.unsafe_get t.data ((r * t.wpr) + (i / bpw))
   land (1 lsl (i mod bpw))
   <> 0
+[@@dynlint.hot]
 
 let set t r i =
   check_row t r "set";
@@ -66,6 +67,7 @@ let set t r i =
   let w = (r * t.wpr) + (i / bpw) in
   Bigarray.Array1.unsafe_set t.data w
     (Bigarray.Array1.unsafe_get t.data w lor (1 lsl (i mod bpw)))
+[@@dynlint.hot]
 
 (* Unchecked variants for the innermost engine loops, where the row is
    a loop counter already bounded by the shard range.  Only meaningful
@@ -75,11 +77,17 @@ let unsafe_mem t r i =
   Bigarray.Array1.unsafe_get t.data ((r * t.wpr) + (i / bpw))
   land (1 lsl (i mod bpw))
   <> 0
+[@@dynlint.hot]
+[@@dynlint.unsafe_ok "caller contract: r is a loop counter bounded by the \
+                      shard range (see Soa's row loops)"]
 
 let unsafe_set t r i =
   let w = (r * t.wpr) + (i / bpw) in
   Bigarray.Array1.unsafe_set t.data w
     (Bigarray.Array1.unsafe_get t.data w lor (1 lsl (i mod bpw)))
+[@@dynlint.hot]
+[@@dynlint.unsafe_ok "caller contract: r is a loop counter bounded by the \
+                      shard range (see Soa's row loops)"]
 
 let popcount w =
   let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
@@ -93,6 +101,7 @@ let row_popcount t r =
     acc := !acc + popcount (Bigarray.Array1.unsafe_get t.data (base + i))
   done;
   !acc
+[@@dynlint.hot]
 
 let row_clear t r =
   check_row t r "row_clear";
@@ -100,6 +109,7 @@ let row_clear t r =
   for i = 0 to t.wpr - 1 do
     Bigarray.Array1.unsafe_set t.data (base + i) 0
   done
+[@@dynlint.hot]
 
 (* {2 Bitset exchange}
 
@@ -120,6 +130,7 @@ let load_row t r bs =
   for i = 0 to t.wpr - 1 do
     Bigarray.Array1.unsafe_set t.data (base + i) (Bitset.load_word bs i)
   done
+[@@dynlint.hot]
 
 let extract_row t r =
   check_row t r "extract_row";
@@ -129,6 +140,10 @@ let extract_row t r =
     Bitset.store_word bs i (Bigarray.Array1.unsafe_get t.data (base + i))
   done;
   bs
+[@@dynlint.alloc_ok "the one sanctioned allocation on the learning path: \
+                     extraction must detach into a fresh Bitset (aliasing \
+                     plane words would let in-place updates rewrite \
+                     persistent state history)"]
 
 let union_row_into t ~src ~dst =
   check_row t src "union_row_into";
@@ -139,6 +154,7 @@ let union_row_into t ~src ~dst =
       (Bigarray.Array1.unsafe_get t.data (db + i)
       lor Bigarray.Array1.unsafe_get t.data (sb + i))
   done
+[@@dynlint.hot]
 
 let union_row_from t r bs =
   check_row t r "union_row_from";
@@ -149,6 +165,7 @@ let union_row_from t r bs =
     Bigarray.Array1.unsafe_set t.data (base + i)
       (Bigarray.Array1.unsafe_get t.data (base + i) lor Bitset.load_word bs i)
   done
+[@@dynlint.hot]
 
 (* {2 Borrowed slices} *)
 

@@ -84,7 +84,7 @@ let total_excluding t excluded =
       else acc + count t cls)
     0 Msg_class.all
 
-let note_round t = t.rounds <- t.rounds + 1
+let note_round t = t.rounds <- t.rounds + 1 [@@dynlint.hot]
 let rounds t = t.rounds
 
 let note_graph_change t ~prev ~cur =

@@ -31,15 +31,21 @@ type 'state adversary =
   traffic:traffic ->
   Dynet.Graph.t
 
+(* [search] threads [arr]/[x] explicitly so it stays a constant
+   closure: capturing them would allocate one closure per call, and
+   this probe runs once per delivered message. *)
 let mem_sorted arr x =
-  let rec search lo hi =
+  let rec search arr x lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
       let c = compare x arr.(mid) in
-      if c = 0 then true else if c < 0 then search lo mid else search (mid + 1) hi
+      if c = 0 then true
+      else if c < 0 then search arr x lo mid
+      else search arr x (mid + 1) hi
   in
-  search 0 (Array.length arr)
+  search arr x 0 (Array.length arr)
+[@@dynlint.hot]
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)

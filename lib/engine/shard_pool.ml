@@ -135,11 +135,19 @@ let run t (job : job) =
         | None -> failures
         | Some e -> (0, e) :: failures
       in
-      (match
-         List.sort (fun (a, _) (b, _) -> compare a b) failures
-       with
+      (* Re-raise the lowest failing shard's exception.  Not a sort:
+         [List.sort] allocates its merge closures even on an empty
+         list, and this runs once per barrier, so the no-failure path
+         must stay allocation-free. *)
+      (match failures with
       | [] -> ()
-      | (_, e) :: _ -> raise e)
+      | (s0, e0) :: rest ->
+          let _, e =
+            List.fold_left
+              (fun ((sa, _) as a) ((sb, _) as b) -> if sb < sa then b else a)
+              (s0, e0) rest
+          in
+          raise e)
 
 let shutdown t =
   match t.shared with

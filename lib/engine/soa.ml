@@ -155,6 +155,7 @@ let run_plane (type s m)
       end
     done;
     shard_sends.(shard) <- !len
+  [@@dynlint.hot]
   in
   (* Tail-recursive row scans, allocated once: [row_any] stops at the
      first broadcasting neighbor, [row_count] counts them all for the
@@ -164,6 +165,7 @@ let run_plane (type s m)
     else if Dynet.Plane.unsafe_mem bplane merged (Dynet.Csr.neighbor csr i)
     then true
     else row_any (i + 1) stop
+  [@@dynlint.hot]
   in
   let rec row_count i stop acc =
     if i >= stop then acc
@@ -172,6 +174,7 @@ let run_plane (type s m)
         (if Dynet.Plane.unsafe_mem bplane merged (Dynet.Csr.neighbor csr i)
          then acc + 1
          else acc)
+  [@@dynlint.hot]
   in
   let receive_job ~shard ~lo ~hi =
     let p = !cur_phase in
@@ -195,6 +198,7 @@ let run_plane (type s m)
             ~known:known.(v)
       end
     done
+  [@@dynlint.hot]
   in
   (* Push-side delivery for sparse rounds.  [receive_job] pulls: every
      node scans its neighbors until one broadcasts, which costs O(m)
@@ -220,6 +224,7 @@ let run_plane (type s m)
         Dynet.Plane.unsafe_set gplane shard (Dynet.Csr.neighbor csr i)
       done
     done
+  [@@dynlint.hot]
   in
   let apply_job ~shard ~lo ~hi =
     let p = !cur_phase in
@@ -237,6 +242,7 @@ let run_plane (type s m)
             ~known:known.(v)
       end
     done
+  [@@dynlint.hot]
   in
   Shard_pool.with_pool ~spans @@ fun pool ->
   while (not !completed) && (not !stalled) && !round < max_rounds do

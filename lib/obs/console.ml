@@ -1,19 +1,20 @@
-(* The sanctioned stderr path for executables.  dynlint's direct-print
-   rule bans ad-hoc [prerr_*] in libraries so all run output flows
-   through [Sink]; executables still need a human-facing stderr for
-   usage errors and abort notices, and routing those through here keeps
-   them greppable and mirrors them into an active sink as [Diag]
-   events when one is around. *)
+(* The sanctioned console path for executables.  dynlint's direct-print
+   rule bans ad-hoc [print_*]/[prerr_*] everywhere (libraries AND
+   executables) so all run output flows through [Sink] or through
+   here: [out] is the stdout results channel (tables, JSON reports),
+   [error]/[note] the stderr diagnostics.  Routing them through one
+   exit point keeps them greppable and mirrors them into an active
+   sink as [Diag] events when one is around. *)
 
-let emit ?sink ~level msg =
+let emit ?sink ~level ~chan msg =
   (match sink with
   | Some s when not (Sink.is_null s) -> Sink.emit s (Trace.Diag { level; msg })
   | _ -> ());
-  output_string stderr msg;
-  output_char stderr '\n';
-  flush stderr
+  output_string chan msg;
+  output_char chan '\n';
+  flush chan
 
-let error ?sink msg = emit ?sink ~level:"error" msg
-let note ?sink msg = emit ?sink ~level:"note" msg
-
+let out ?sink msg = emit ?sink ~level:"out" ~chan:stdout msg
+let error ?sink msg = emit ?sink ~level:"error" ~chan:stderr msg
+let note ?sink msg = emit ?sink ~level:"note" ~chan:stderr msg
 let lines ?sink msgs = List.iter (note ?sink) msgs

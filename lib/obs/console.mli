@@ -1,10 +1,16 @@
-(** Human-facing stderr for executables.
+(** Human-facing console output for executables.
 
     Libraries never print (dynlint's direct-print rule); executables
-    route usage errors and abort notices through here instead of raw
-    [prerr_endline], so every diagnostic has one exit point and is
-    mirrored into the active {!Sink} as a {!Trace.Diag} event when one
-    is passed. *)
+    route output through here instead of raw [print_*]/[prerr_*], so
+    every line has one exit point and is mirrored into the active
+    {!Sink} as a {!Trace.Diag} event when one is passed.  Results go
+    to stdout via {!out}; diagnostics go to stderr via {!error} and
+    {!note}. *)
+
+val out : ?sink:Sink.t -> string -> unit
+(** Write one line to stdout, flushed; mirrored as a [Diag] event with
+    level ["out"].  This is the results channel — tables, JSON
+    reports, CSV rows. *)
 
 val error : ?sink:Sink.t -> string -> unit
 (** Write one line to stderr, flushed; mirrored as a [Diag] event with

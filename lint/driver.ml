@@ -12,6 +12,8 @@ type config = {
   print_allowed : string list;  (* id prefixes free to print *)
   physeq_allowed : string list;  (* exact ids free to use == / != *)
   mli_required : string list;  (* id prefixes where .ml needs .mli *)
+  unsafe_audited : string list;  (* id prefixes under the unsafe-index audit *)
+  shard_scope : string list;  (* id prefixes scanned for Shard_pool jobs *)
 }
 
 let default_config =
@@ -19,15 +21,17 @@ let default_config =
     strict_poly =
       [
         "lib/dynet/"; "lib/engine/"; "lib/fuzz/"; "lib/gossip/";
-        "lib/scenario/";
+        "lib/scenario/"; "bin/"; "bench/";
       ];
-    print_allowed = [ "lib/obs/"; "bin/"; "bench/" ];
+    print_allowed = [ "lib/obs/" ];
     physeq_allowed =
       [
       "lib/dynet/graph.ml"; "lib/dynet/stability.ml"; "lib/dynet/csr.ml";
       "lib/engine/soa.ml";
     ];
     mli_required = [ "lib/" ];
+    unsafe_audited = [ "lib/dynet/"; "lib/engine/" ];
+    shard_scope = [ "lib/" ];
   }
 
 let has_prefix prefixes id =
@@ -128,12 +132,108 @@ let apply_waivers waivers violations =
   in
   surviving @ stale
 
+(* {2 The callgraph pass}
+
+   Builds the shared callgraph and runs the three cross-function
+   rules: hot-alloc, unsafe-index, shard-ownership.  Attribute waivers
+   ([@dynlint.alloc_ok] / [@dynlint.unsafe_ok]) are claimed here —
+   they cover findings of their rule on the annotated construct's
+   lines — and any waiver left unclaimed becomes a stale-waiver
+   violation, exactly like the comment form. *)
+
+type cg_stats = {
+  hot_roots : int;  (* [@@dynlint.hot] functions found *)
+  unsafe_sites : int;  (* unsafe_* calls in the audited scope *)
+  unsafe_guarded : int;  (* of which analyzer-verified *)
+  unsafe_waived : int;  (* of which waived by [@dynlint.unsafe_ok] *)
+  shard_jobs : string list;  (* Shard_pool jobs the ownership pass saw *)
+}
+
+let attr_of_rule = function
+  | "hot-alloc" -> "alloc_ok"
+  | "unsafe-index" -> "unsafe_ok"
+  | r -> r
+
+let callgraph_pass ~config (files : Source_file.t list) =
+  let cg = Callgraph.build files in
+  let hot_vs = Hot_alloc.check cg in
+  let ui =
+    Unsafe_index.check cg ~files ~audited:(has_prefix config.unsafe_audited)
+  in
+  let so =
+    Shard_ownership.check cg ~files ~in_scope:(has_prefix config.shard_scope)
+  in
+  let claim_attr (v : Rules.violation) =
+    match
+      List.find_opt
+        (fun (w : Callgraph.waiver) ->
+          String.equal w.Callgraph.rule v.rule
+          && String.equal w.Callgraph.w_id v.id
+          && v.line >= w.Callgraph.span_start
+          && v.line <= w.Callgraph.span_end)
+        cg.Callgraph.waivers
+    with
+    | Some w ->
+        w.Callgraph.used <- true;
+        false
+    | None -> true
+  in
+  let hot_vs = List.filter claim_attr hot_vs in
+  let ui_vs = List.filter claim_attr ui.Unsafe_index.violations in
+  let unsafe_waived =
+    List.length ui.Unsafe_index.violations - List.length ui_vs
+  in
+  let so_vs = List.filter claim_attr so.Shard_ownership.violations in
+  let attr_bad =
+    List.map
+      (fun (src, loc, msg) -> Rules.violation src loc "bad-attr" msg)
+      cg.Callgraph.bad_attrs
+  in
+  let path_of_id id =
+    match
+      List.find_opt
+        (fun (s : Source_file.t) -> String.equal s.Source_file.id id)
+        files
+    with
+    | Some s -> s.Source_file.path
+    | None -> id
+  in
+  let stale_attrs =
+    List.filter_map
+      (fun (w : Callgraph.waiver) ->
+        if w.Callgraph.used then None
+        else
+          Some
+            {
+              Rules.path = path_of_id w.Callgraph.w_id;
+              id = w.Callgraph.w_id;
+              line = w.Callgraph.w_line;
+              col = 0;
+              rule = "stale-waiver";
+              msg =
+                Printf.sprintf
+                  "[@dynlint.%s] waiver matches no %s finding; delete it"
+                  (attr_of_rule w.Callgraph.rule)
+                  w.Callgraph.rule;
+            })
+      cg.Callgraph.waivers
+  in
+  ( hot_vs @ ui_vs @ so_vs @ attr_bad @ stale_attrs,
+    {
+      hot_roots = List.length (Callgraph.hot_roots cg);
+      unsafe_sites = ui.Unsafe_index.sites;
+      unsafe_guarded = ui.Unsafe_index.guarded;
+      unsafe_waived;
+      shard_jobs = so.Shard_ownership.jobs;
+    } )
+
 (* {2 Entry points} *)
 
 type report = {
   violations : Rules.violation list;
   files_scanned : int;
   sweep_reachable : string list;
+  stats : cg_stats;
 }
 
 let run ?(config = default_config) dirs =
@@ -180,17 +280,21 @@ let run ?(config = default_config) dirs =
       files
   in
   let ds_violations, sweep_reachable = Domain_safety.check ~files in
+  let cg_violations, stats = callgraph_pass ~config files in
   let violations =
     apply_waivers waivers
-      (waiver_errs @ per_file @ missing_mli @ ds_violations)
+      (waiver_errs @ per_file @ missing_mli @ ds_violations @ cg_violations)
     |> List.sort (fun (a : Rules.violation) b ->
            match String.compare a.id b.id with
            | 0 -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule)
            | c -> c)
   in
-  { violations; files_scanned = List.length files; sweep_reachable }
+  { violations; files_scanned = List.length files; sweep_reachable; stats }
 
-(* Lint one in-memory source (fixture tests): per-file rules only. *)
+(* Lint one in-memory source (fixture tests): the per-file rules plus
+   the callgraph pass on the single-file graph.  The driver-level
+   interface-presence and reachability rules stay out — they only mean
+   something on a whole tree. *)
 let lint_source ?(config = default_config) ~id content =
   let tmp = Filename.temp_file "dynlint" (Filename.basename id) in
   Fun.protect
@@ -202,7 +306,10 @@ let lint_source ?(config = default_config) ~id content =
       let src = Source_file.load ~path:tmp ~id in
       let src = { src with Source_file.path = id } in
       let ws, werrs = file_waivers src in
-      let vs = werrs @ Rules.check src ~scope:(scope_of config id) in
+      let cg_violations, _stats = callgraph_pass ~config [ src ] in
+      let vs =
+        werrs @ Rules.check src ~scope:(scope_of config id) @ cg_violations
+      in
       apply_waivers [ (id, ws) ] vs)
 
 (* {2 Rendering} *)
@@ -226,18 +333,30 @@ let json_escape s =
 
 let report_to_json r =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"schema\":\"dynlint/v1\",";
+  Buffer.add_string buf "{\"schema\":\"dynlint/v2\",";
   Buffer.add_string buf
-    (Printf.sprintf "\"files_scanned\":%d,\"violations\":[" r.files_scanned);
+    (Printf.sprintf
+       "\"files_scanned\":%d,\"hot_roots\":%d,\"unsafe_sites\":%d,\
+        \"unsafe_guarded\":%d,\"unsafe_waived\":%d,\"violations\":["
+       r.files_scanned r.stats.hot_roots r.stats.unsafe_sites
+       r.stats.unsafe_guarded r.stats.unsafe_waived);
   List.iteri
     (fun i (v : Rules.violation) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\
+            \"severity\":\"%s\",\"msg\":\"%s\"}"
            (json_escape v.id) v.line v.col (json_escape v.rule)
+           (Rules.severity_of_rule v.rule)
            (json_escape v.msg)))
     r.violations;
+  Buffer.add_string buf "],\"shard_jobs\":[";
+  List.iteri
+    (fun i j ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape j)))
+    r.stats.shard_jobs;
   Buffer.add_string buf "],\"sweep_reachable\":[";
   List.iteri
     (fun i id ->

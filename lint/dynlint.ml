@@ -1,29 +1,36 @@
 (* dynlint — project-specific static analysis for the dynspread tree.
 
-   Usage: dynlint [--report FILE] DIR...
+   Usage: dynlint [--report FILE] [--sarif FILE] DIR...
 
    Walks every .ml/.mli under the given directories, enforces the
    project rules (see lint/rules.ml for the rule table and DESIGN.md
    "Static analysis" for the rationale), and exits nonzero when any
    violation survives the waiver pass.  --report writes a JSON summary
-   (schema dynlint/v1) with the violation list and the
-   Sweep-reachability set. *)
+   (schema dynlint/v2) with the violation list, per-finding rule id
+   and severity, the hot-path/unsafe-audit statistics, and the
+   Sweep-reachability set; --sarif writes the same findings as SARIF
+   2.1.0 for CI artifact upload. *)
 
 let usage () =
-  prerr_endline "usage: dynlint [--report FILE] DIR...";
+  prerr_endline "usage: dynlint [--report FILE] [--sarif FILE] DIR...";
   prerr_endline "  DIR...         directories to scan (e.g. lib bin bench test)";
   prerr_endline "  --report FILE  also write a JSON report to FILE";
+  prerr_endline "  --sarif FILE   also write a SARIF 2.1.0 report to FILE";
   exit 2
 
 let () =
   let report_file = ref None in
+  let sarif_file = ref None in
   let dirs = ref [] in
   let rec parse = function
     | [] -> ()
     | "--report" :: file :: rest ->
         report_file := Some file;
         parse rest
-    | [ "--report" ] -> usage ()
+    | "--sarif" :: file :: rest ->
+        sarif_file := Some file;
+        parse rest
+    | [ "--report" ] | [ "--sarif" ] -> usage ()
     | ("--help" | "-h") :: _ -> usage ()
     | dir :: rest ->
         if not (Sys.file_exists dir && Sys.is_directory dir) then begin
@@ -36,20 +43,31 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !dirs = [] then usage ();
   let report = Lintcore.Driver.run (List.rev !dirs) in
-  (match !report_file with
-  | None -> ()
-  | Some file ->
-      let oc = open_out file in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Lintcore.Driver.report_to_json report)));
+  let write file contents =
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  in
+  Option.iter
+    (fun file -> write file (Lintcore.Driver.report_to_json report))
+    !report_file;
+  Option.iter
+    (fun file -> write file (Lintcore.Sarif.of_report report))
+    !sarif_file;
   List.iter
     (fun v -> Format.printf "%a@." Lintcore.Driver.pp_violation v)
     report.Lintcore.Driver.violations;
+  let stats = report.Lintcore.Driver.stats in
   match report.Lintcore.Driver.violations with
   | [] ->
-      Format.printf "dynlint: %d files clean (%d modules sweep-reachable)@."
-        report.Lintcore.Driver.files_scanned
+      Format.printf
+        "dynlint: %d files clean (%d hot roots, %d/%d unsafe sites \
+         guarded, %d waived, %d shard jobs, %d modules sweep-reachable)@."
+        report.Lintcore.Driver.files_scanned stats.Lintcore.Driver.hot_roots
+        stats.Lintcore.Driver.unsafe_guarded stats.Lintcore.Driver.unsafe_sites
+        stats.Lintcore.Driver.unsafe_waived
+        (List.length stats.Lintcore.Driver.shard_jobs)
         (List.length report.Lintcore.Driver.sweep_reachable);
       exit 0
   | vs ->

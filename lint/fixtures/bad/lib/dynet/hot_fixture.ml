@@ -1,0 +1,8 @@
+(* Seeded hot-alloc violations for the analyzer smoke test: one
+   allocation directly inside a hot function, one reached through a
+   transitive call.  A dynlint build that stops catching either must
+   fail the fixture check loudly. *)
+
+let box x = [ x ]
+let hot_direct x = (x, x) [@@dynlint.hot]
+let hot_transitive x = box x [@@dynlint.hot]

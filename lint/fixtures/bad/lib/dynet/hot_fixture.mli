@@ -1,0 +1,3 @@
+val box : 'a -> 'a list
+val hot_direct : 'a -> 'a * 'a
+val hot_transitive : 'a -> 'a list

@@ -1,0 +1,5 @@
+(* Seeded stale waivers: nothing here allocates on a hot path or
+   indexes unsafely, so both attributes must be reported stale. *)
+
+let plus_one x = x + 1 [@@dynlint.alloc_ok "nothing allocates here"]
+let nth (a : int array) i = a.(i) [@@dynlint.unsafe_ok "plain checked access"]

@@ -1,0 +1,2 @@
+val plus_one : int -> int
+val nth : int array -> int -> int

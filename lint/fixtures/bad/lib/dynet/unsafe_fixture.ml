@@ -1,0 +1,4 @@
+(* Seeded unsafe-index violation: no same-function bounds guard, no
+   [@dynlint.unsafe_ok] waiver. *)
+
+let first (a : int array) i = Array.unsafe_get a i

@@ -1,0 +1,1 @@
+val first : int array -> int -> int

@@ -1,0 +1,5 @@
+(* Seeded shard-ownership violation: the job writes a cell that is
+   not indexed by its [lo, hi) span, staged per shard, or job-local. *)
+
+let leak pool (out : int array) =
+  Engine.Shard_pool.run pool (fun ~shard:_ ~lo:_ ~hi:_ -> out.(0) <- 1)

@@ -1,0 +1,1 @@
+val leak : Shard_pool.t -> int array -> unit

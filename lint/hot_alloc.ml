@@ -1,0 +1,461 @@
+(* hot-alloc: functions marked [@@dynlint.hot] and everything they
+   transitively call must contain no allocation site.
+
+   The engine's n = 10^5..10^6 targets depend on the round loop staying
+   off the minor heap; one Gc.minor_words test asserts that end to end,
+   and this pass explains *why* it holds, function by function, at
+   compile time.  Flagged as allocations:
+
+     - tuples, records, arrays, constructors and polymorphic variants
+       with payloads, lazy values, objects, first-class modules
+     - closures: [fun]/[function] values and local function definitions
+       that capture an enclosing local (capture-free definitions become
+       constant closures and are skipped, matching the compiler)
+     - [ref] cells, unless every use of the bound name is a same-level
+       [!]/[:=]/[incr]/[decr] (mirroring the compiler's eliminate_ref:
+       such a ref is compiled as a mutable variable)
+     - partial applications of known functions (closure at runtime)
+     - boxed arithmetic: float operators, [float_of_int], and anything
+       under [Int64]/[Int32]/[Nativeint]/[Float]
+     - allocating externals: [^], [@], [Printf]/[Format], and the
+       stdlib constructors/producers table below
+
+   Subtrees under [raise]/[raise_notrace]/[invalid_arg]/[failwith] and
+   [assert] are cold paths (they run at most once, on the way out) and
+   are skipped, so bounds-check guards keep their helpful messages.
+
+   [@dynlint.alloc_ok "reason"] on a function binding waives the whole
+   function: the traversal stops there and the callee may allocate
+   (e.g. Plane.extract_row's detaching copy on the learning path).  On
+   a narrower construct it waives findings on the covered lines only;
+   both forms are stale-checked. *)
+
+let rule = "hot-alloc"
+
+let is_cold_head = function
+  | [ f ] | [ "Stdlib"; f ] -> (
+      match f with
+      | "raise" | "raise_notrace" | "invalid_arg" | "failwith" -> true
+      | _ -> false)
+  | _ -> false
+
+let is_float_op = function
+  | "+." | "-." | "*." | "/." | "**" | "~-." | "abs_float" | "mod_float"
+  | "sqrt" | "float_of_int" | "float" | "float_of_string" ->
+      true
+  | _ -> false
+
+let is_string_producer = function
+  | "string_of_int" | "string_of_float" | "string_of_bool"
+  | "format_of_string" ->
+      true
+  | _ -> false
+
+(* Modules where (conservatively) every call allocates. *)
+let allocating_modules =
+  [
+    "Printf"; "Format"; "Scanf"; "Int64"; "Int32"; "Nativeint"; "Float";
+    "Complex"; "Seq"; "Lazy"; "Digest"; "Marshal"; "Random";
+  ]
+
+(* Per-module allocating producers in modules that also export
+   non-allocating operations. *)
+let allocating_fns =
+  [
+    ( "Array",
+      [
+        "make"; "init"; "create_float"; "make_matrix"; "append"; "concat";
+        "sub"; "copy"; "of_list"; "to_list"; "of_seq"; "to_seq"; "map";
+        "mapi"; "map2"; "split"; "combine";
+      ] );
+    ( "List",
+      [
+        "init"; "cons"; "map"; "mapi"; "rev_map"; "filter"; "filter_map";
+        "concat"; "concat_map"; "flatten"; "append"; "rev"; "rev_append";
+        "sort"; "stable_sort"; "fast_sort"; "sort_uniq"; "merge"; "split";
+        "combine"; "partition"; "of_seq"; "to_seq";
+      ] );
+    ( "String",
+      [
+        "make"; "init"; "sub"; "concat"; "cat"; "map"; "mapi"; "trim";
+        "escaped"; "uppercase_ascii"; "lowercase_ascii"; "capitalize_ascii";
+        "uncapitalize_ascii"; "split_on_char"; "of_seq"; "to_seq";
+      ] );
+    ( "Bytes",
+      [
+        "create"; "make"; "init"; "copy"; "of_string"; "to_string"; "sub";
+        "extend"; "cat"; "concat";
+      ] );
+    ("Buffer", [ "create"; "contents"; "to_bytes"; "sub" ]);
+    ("Hashtbl", [ "create"; "copy"; "add"; "replace"; "fold"; "to_seq" ]);
+    ("Queue", [ "create"; "add"; "push"; "copy"; "to_seq" ]);
+    ("Stack", [ "create"; "push"; "copy"; "to_seq" ]);
+    ("Option", [ "some"; "map"; "bind"; "join"; "to_list"; "to_seq" ]);
+    ("Result", [ "ok"; "error"; "map"; "bind"; "join" ]);
+    ("Atomic", [ "make" ]);
+    ("Domain", [ "spawn" ]);
+  ]
+
+let classify_external path =
+  match path with
+  | [ f ] | [ "Stdlib"; f ] ->
+      if is_float_op f then Some (f ^ " boxes a float")
+      else if is_string_producer f then Some (f ^ " allocates a string")
+      else if String.equal f "^" then Some "string concatenation (^) allocates"
+      else if String.equal f "@" then Some "list append (@) allocates"
+      else if String.equal f "^^" then
+        Some "format concatenation (^^) allocates"
+      else None
+  | _ -> (
+      match List.rev path with
+      | f :: m :: _ ->
+          if List.mem m allocating_modules then
+            Some (m ^ "." ^ f ^ " allocates")
+          else (
+            match List.assoc_opt m allocating_fns with
+            | Some fns when List.mem f fns -> Some (m ^ "." ^ f ^ " allocates")
+            | _ -> None)
+      | _ -> None)
+
+(* {2 eliminate_ref prepass}
+
+   Collect [let x = ref e] bindings whose every use is a same-level
+   [!x] / [x := _] / [incr x] / [decr x]; those refs are compiled as
+   mutable variables (no allocation).  A use at a deeper lambda level
+   crosses a closure boundary (the ref would live in the closure
+   environment), so it disqualifies. *)
+
+let deref_heads = [ "!"; ":="; "incr"; "decr" ]
+
+let loc_key (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum)
+
+let collect_ok_refs (fn : Callgraph.func) =
+  let cands = Hashtbl.create 8 in
+  (* name -> (loc key of the [ref] application, binding lambda depth,
+     escaped flag) *)
+  let rec go depth (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, cont) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match (vb.pvb_pat.ppat_desc, Callgraph.flatten_apply vb.pvb_expr) with
+            | ( Ppat_var v,
+                ( { pexp_desc = Pexp_ident { txt = Longident.Lident "ref"; _ };
+                    _;
+                  },
+                  [ (Asttypes.Nolabel, arg) ] ) ) ->
+                Hashtbl.replace cands v.txt
+                  (loc_key vb.pvb_expr.pexp_loc, depth, ref false);
+                go depth arg
+            | _ -> go depth vb.pvb_expr)
+          vbs;
+        go depth cont
+    | Pexp_ident { txt = Longident.Lident x; _ } -> (
+        match Hashtbl.find_opt cands x with
+        | Some (_, _, esc) -> esc := true
+        | None -> ())
+    | Pexp_apply _ -> (
+        let head, args = Callgraph.flatten_apply e in
+        match (head.pexp_desc, args) with
+        | ( Pexp_ident { txt = Longident.Lident op; _ },
+            ( Asttypes.Nolabel,
+              { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ } )
+            :: rest )
+          when List.mem op deref_heads ->
+            (match Hashtbl.find_opt cands x with
+            | Some (_, d, esc) -> if d <> depth then esc := true
+            | None -> ());
+            List.iter (fun (_, a) -> go depth a) rest
+        | _ ->
+            go depth head;
+            List.iter (fun (_, a) -> go depth a) args)
+    | Pexp_fun (_, d, _, body) ->
+        Option.iter (go depth) d;
+        go (depth + 1) body
+    | Pexp_function cases ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            Option.iter (go (depth + 1)) c.pc_guard;
+            go (depth + 1) c.pc_rhs)
+          cases
+    | Pexp_newtype (_, body) -> go depth body
+    | _ ->
+        Ast_iterator.default_iterator.expr
+          { Ast_iterator.default_iterator with expr = (fun _ e' -> go depth e') }
+          e
+  in
+  (match fn.Callgraph.cases with
+  | Some cs ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          Option.iter (go 0) c.pc_guard;
+          go 0 c.pc_rhs)
+        cs
+  | None -> go 0 fn.Callgraph.body);
+  let ok = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (key, _, esc) -> if not !esc then Hashtbl.replace ok key ())
+    cands;
+  ok
+
+(* {2 Capture analysis}
+
+   Names from [env] (enclosing locals) referenced free in [e]: a
+   function value capturing any of them cannot be a constant closure
+   and therefore allocates. *)
+
+let captured ~env (e : Parsetree.expression) =
+  let hits = ref [] in
+  let rec go bound (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } ->
+        if List.mem x env && (not (List.mem x bound)) && not (List.mem x !hits)
+        then hits := x :: !hits
+    | Pexp_fun (_, d, p, body) ->
+        Option.iter (go bound) d;
+        go (Callgraph.pat_vars p bound) body
+    | Pexp_function cases -> List.iter (case bound) cases
+    | Pexp_newtype (_, body) -> go bound body
+    | Pexp_let (rf, vbs, cont) ->
+        let bound' =
+          List.fold_left
+            (fun a (vb : Parsetree.value_binding) ->
+              Callgraph.pat_vars vb.pvb_pat a)
+            bound vbs
+        in
+        let inner =
+          match rf with Asttypes.Recursive -> bound' | _ -> bound
+        in
+        List.iter
+          (fun (vb : Parsetree.value_binding) -> go inner vb.pvb_expr)
+          vbs;
+        go bound' cont
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go bound scrut;
+        List.iter (case bound) cases
+    | Pexp_for (p, lo, hi, _, body) ->
+        go bound lo;
+        go bound hi;
+        go (Callgraph.pat_vars p bound) body
+    | _ ->
+        Ast_iterator.default_iterator.expr
+          { Ast_iterator.default_iterator with expr = (fun _ e' -> go bound e') }
+          e
+  and case bound (c : Parsetree.case) =
+    let b = Callgraph.pat_vars c.pc_lhs bound in
+    Option.iter (go b) c.pc_guard;
+    go b c.pc_rhs
+  in
+  go [] e;
+  List.rev !hits
+
+(* {2 The transitive scan} *)
+
+let func_key (f : Callgraph.func) =
+  f.Callgraph.src.Source_file.id ^ ":" ^ f.Callgraph.name
+
+(* An alloc_ok waiver whose span covers the function's binding waives
+   the whole function: traversal stops there. *)
+let func_waiver (cg : Callgraph.t) (f : Callgraph.func) =
+  let line = f.Callgraph.loc.loc_start.pos_lnum in
+  List.find_opt
+    (fun (w : Callgraph.waiver) ->
+      String.equal w.rule rule
+      && String.equal w.w_id f.Callgraph.src.Source_file.id
+      && line >= w.span_start && line <= w.span_end)
+    cg.Callgraph.waivers
+
+let scan cg (fn : Callgraph.func)
+    ~(report : Location.t -> string -> unit)
+    ~(enqueue : Callgraph.func -> unit) =
+  let ok_refs = collect_ok_refs fn in
+  let resolve lid ~env =
+    match lid with
+    | Longident.Lident x when List.mem x env -> [] (* shadowed by a local *)
+    | _ -> Callgraph.resolve cg ~from:fn lid
+  in
+  let rec go env (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> List.iter enqueue (resolve txt ~env)
+    | Pexp_apply _ -> (
+        let head, args = Callgraph.flatten_apply e in
+        match head.pexp_desc with
+        | Pexp_ident { txt; loc = hloc } ->
+            let path = Callgraph.flatten txt in
+            if is_cold_head path then () (* error path: cold, skip *)
+            else begin
+              (match path with
+              | [ "ref" ] | [ "Stdlib"; "ref" ] ->
+                  if not (Hashtbl.mem ok_refs (loc_key e.pexp_loc)) then
+                    report e.pexp_loc
+                      "ref allocates (the cell escapes or crosses a closure \
+                       boundary, so eliminate_ref cannot remove it)"
+              | _ -> (
+                  match classify_external path with
+                  | Some what -> report hloc what
+                  | None -> ()));
+              let resolved = resolve txt ~env in
+              List.iter enqueue resolved;
+              (match resolved with
+              | [] -> ()
+              | fs ->
+                  let provided =
+                    List.length
+                      (List.filter
+                         (fun (l, _) ->
+                           match l with
+                           | Asttypes.Nolabel | Asttypes.Labelled _ -> true
+                           | Asttypes.Optional _ -> false)
+                         args)
+                  in
+                  if
+                    List.for_all
+                      (fun (f : Callgraph.func) -> f.Callgraph.arity > provided)
+                      fs
+                  then
+                    report e.pexp_loc
+                      (Printf.sprintf
+                         "partial application of %s allocates a closure"
+                         (String.concat "." path)));
+              List.iter (fun (_, a) -> go env a) args
+            end
+        | _ ->
+            go env head;
+            List.iter (fun (_, a) -> go env a) args)
+    | Pexp_tuple _ ->
+        report e.pexp_loc "tuple allocates";
+        descend env e
+    | Pexp_record _ ->
+        report e.pexp_loc "record allocates";
+        descend env e
+    | Pexp_construct (lid, Some arg) ->
+        report e.pexp_loc
+          (Printf.sprintf "constructor %s with a payload allocates"
+             (String.concat "." (Callgraph.flatten lid.txt)));
+        (* A multi-argument constructor is one block: its payload
+           tuple is part of this allocation, not a second one. *)
+        (match arg.pexp_desc with
+        | Pexp_tuple parts -> List.iter (go env) parts
+        | _ -> go env arg)
+    | Pexp_variant (_, Some _) ->
+        report e.pexp_loc "polymorphic variant with a payload allocates";
+        descend env e
+    | Pexp_array _ ->
+        report e.pexp_loc "array literal allocates";
+        descend env e
+    | Pexp_lazy _ ->
+        report e.pexp_loc "lazy value allocates";
+        descend env e
+    | Pexp_object _ -> report e.pexp_loc "object allocates"
+    | Pexp_pack _ -> report e.pexp_loc "first-class module allocates"
+    | Pexp_letop _ ->
+        report e.pexp_loc "binding operator expands to closure allocations";
+        descend env e
+    | Pexp_assert _ -> () (* cold like raise *)
+    | Pexp_let (_, vbs, cont) ->
+        let group =
+          List.concat_map
+            (fun (vb : Parsetree.value_binding) ->
+              Callgraph.pat_vars vb.pvb_pat [])
+            vbs
+        in
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match Callgraph.nested_func cg fn.Callgraph.src vb with
+            | Some nf -> (
+                (* A separate node, scanned if called.  Its *definition*
+                   allocates here unless it is a constant closure. *)
+                let cap_env =
+                  List.filter (fun v -> not (List.mem v group)) env
+                in
+                match captured ~env:cap_env vb.pvb_expr with
+                | [] -> ()
+                | vs ->
+                    report vb.pvb_loc
+                      (Printf.sprintf
+                         "local function %s captures %s: closure allocation"
+                         (Callgraph.last_segment nf.Callgraph.name)
+                         (String.concat ", " vs)))
+            | None -> go env vb.pvb_expr)
+          vbs;
+        go (group @ env) cont
+    | Pexp_fun _ | Pexp_function _ -> (
+        (match captured ~env e with
+        | [] -> ()
+        | vs ->
+            report e.pexp_loc
+              (Printf.sprintf "closure capturing %s allocates"
+                 (String.concat ", " vs)));
+        match e.pexp_desc with
+        | Pexp_fun (_, d, p, body) ->
+            Option.iter (go env) d;
+            go (Callgraph.pat_vars p env) body
+        | Pexp_function cases ->
+            List.iter
+              (fun (c : Parsetree.case) ->
+                let env' = Callgraph.pat_vars c.pc_lhs env in
+                Option.iter (go env') c.pc_guard;
+                go env' c.pc_rhs)
+              cases
+        | _ -> ())
+    | Pexp_newtype (_, body) -> go env body
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go env scrut;
+        List.iter
+          (fun (c : Parsetree.case) ->
+            let env' = Callgraph.pat_vars c.pc_lhs env in
+            Option.iter (go env') c.pc_guard;
+            go env' c.pc_rhs)
+          cases
+    | Pexp_for (p, lo, hi, _, body) ->
+        go env lo;
+        go env hi;
+        go (Callgraph.pat_vars p env) body
+    | _ -> descend env e
+  and descend env e =
+    Ast_iterator.default_iterator.expr
+      { Ast_iterator.default_iterator with expr = (fun _ e' -> go env e') }
+      e
+  in
+  let env0 = List.filter_map (fun (_, n) -> n) fn.Callgraph.params in
+  match fn.Callgraph.cases with
+  | Some cs ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          let env' = Callgraph.pat_vars c.pc_lhs env0 in
+          Option.iter (go env') c.pc_guard;
+          go env' c.pc_rhs)
+        cs
+  | None -> go env0 fn.Callgraph.body
+
+let check (cg : Callgraph.t) : Rules.violation list =
+  let out = ref [] in
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun (f : Callgraph.func) -> Queue.add (f, f) queue)
+    (Callgraph.hot_roots cg);
+  while not (Queue.is_empty queue) do
+    let fn, root = Queue.pop queue in
+    let key = func_key fn in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      match func_waiver cg fn with
+      | Some w -> w.Callgraph.used <- true (* whole function waived *)
+      | None ->
+          let report loc what =
+            let msg =
+              if String.equal (func_key fn) (func_key root) then
+                Printf.sprintf "%s in hot function %s" what fn.Callgraph.qname
+              else
+                Printf.sprintf "%s in %s (hot path from %s)" what
+                  fn.Callgraph.qname root.Callgraph.qname
+            in
+            out := Rules.violation fn.Callgraph.src loc rule msg :: !out
+          in
+          scan cg fn ~report ~enqueue:(fun callee ->
+              Queue.add (callee, root) queue)
+    end
+  done;
+  List.rev !out

@@ -15,8 +15,16 @@
      missing-mli    a [lib/] module without an interface (driver-level)
      domain-safety  top-level mutable state reachable from Sweep
                     workers (domain_safety.ml)
-     stale-waiver   an [allow] waiver matching no violation
+     hot-alloc      allocation reachable from a [@@dynlint.hot]
+                    function (hot_alloc.ml, callgraph-transitive)
+     unsafe-index   an [unsafe_*] call with no visible same-function
+                    bounds guard (unsafe_index.ml)
+     shard-ownership  a write inside a Shard_pool job the analyzer
+                    cannot tie to shard-owned state (shard_ownership.ml)
+     stale-waiver   an [allow] waiver or [@dynlint.*_ok] attribute
+                    matching no violation
      bad-waiver     a [dynlint:] comment that does not parse
+     bad-attr       a malformed or misplaced [@dynlint.*] attribute
      syntax         the file does not parse
 
    The poly-compare rule is two-layered by design: the [Ops] prelude
@@ -37,9 +45,19 @@ type violation = {
 let all_rules =
   [
     "poly-compare"; "physical-eq"; "obj-magic"; "catch-all-try";
-    "direct-print"; "missing-mli"; "domain-safety"; "stale-waiver";
-    "bad-waiver"; "syntax";
+    "direct-print"; "missing-mli"; "domain-safety"; "hot-alloc";
+    "unsafe-index"; "shard-ownership"; "stale-waiver"; "bad-waiver";
+    "bad-attr"; "syntax";
   ]
+
+(* Reporting severity, used by the JSON report and the SARIF exporter.
+   Style-adjacent rules are warnings; everything that can corrupt a
+   run (unsound comparison, races, out-of-bounds, hot-loop GC churn,
+   analysis integrity) is an error.  Both levels fail the build — the
+   split exists so downstream tooling can triage. *)
+let severity_of_rule = function
+  | "catch-all-try" | "direct-print" | "missing-mli" -> "warning"
+  | _ -> "error"
 
 let violation (src : Source_file.t) (loc : Location.t) rule msg =
   let line, col = Source_file.position_of loc.loc_start in

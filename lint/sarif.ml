@@ -1,0 +1,49 @@
+(* SARIF 2.1.0 export of a dynlint report, for CI artifact upload and
+   code-scanning ingestion.  Hand-rolled like the JSON report — the
+   subset SARIF requires is small and the tree carries no JSON
+   dependency.  Severity maps through [Rules.severity_of_rule]; rule
+   metadata comes from [Rules.all_rules] so every result's [ruleId]
+   has a matching [tool.driver.rules] entry. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_report (r : Driver.report) =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+     \"name\":\"dynlint\",\"rules\":[";
+  List.iteri
+    (fun i rule ->
+      if i > 0 then Buffer.add_char buf ',';
+      add "{\"id\":\"%s\",\"defaultConfiguration\":{\"level\":\"%s\"}}"
+        (escape rule)
+        (Rules.severity_of_rule rule))
+    Rules.all_rules;
+  add "]}},\"results\":[";
+  List.iteri
+    (fun i (v : Rules.violation) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add
+        "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\
+         \"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\
+         \"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+        (escape v.rule)
+        (Rules.severity_of_rule v.rule)
+        (escape v.msg) (escape v.id) (max 1 v.line) (v.col + 1))
+    r.Driver.violations;
+  add "]}]}";
+  Buffer.contents buf

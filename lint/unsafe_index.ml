@@ -1,0 +1,218 @@
+(* unsafe-index: every [unsafe_*] call in the audited scope must be
+   dominated by a bounds guard the analyzer can see in the same
+   function, or carry an [@dynlint.unsafe_ok "reason"] waiver.
+
+   A site counts as analyzer-verified when any of these hold:
+
+     - a call to a [check*]-named helper appears earlier in the same
+       function (Plane's accessors call [check_row]/[check_bit] before
+       touching the Bigarray; [Engine_error.check_graph] fences whole
+       graphs the same way)
+     - some argument mentions an enclosing [for]-loop induction
+       variable — the loop header is the bounds proof
+     - some argument mentions a variable that an enclosing [if]/[while]
+       condition compares (the guard dominates the branch), or a
+       let-bound variable derived from such a variable
+
+   Everything else is a violation: either add a visible guard or waive
+   the site with a reason.  Waivers are stale-checked like every other
+   dynlint waiver, so a site that later gains a guard must also drop
+   its waiver. *)
+
+let rule = "unsafe-index"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let comparison_ops = [ "<"; "<="; ">"; ">="; "="; "<>"; "==" ]
+
+(* Does [e] contain a comparison application?  If so its mentioned
+   variables are bounds-checked in the guarded branch. *)
+let has_comparison (e : Parsetree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e' ->
+          (match e'.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident op; _ }
+            when List.mem op comparison_ops ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e');
+    }
+  in
+  it.expr it e;
+  !found
+
+type result = {
+  violations : Rules.violation list;
+  sites : int;  (* unsafe_* applications seen in the audited scope *)
+  guarded : int;  (* sites the analyzer verified *)
+}
+
+(* Scan one function body (or top-level expression).  [bounded] carries
+   the variables currently known to be range-checked; [checked] flips
+   once a check*-call has run. *)
+let scan_expr ~(stop_at_nested : Parsetree.value_binding -> bool) ~record
+    (e : Parsetree.expression) =
+  let checked = ref false in
+  let rec go bounded (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_apply _ -> (
+        let head, args = Callgraph.flatten_apply e in
+        match head.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            let seg = Callgraph.last_segment (String.concat "." (Callgraph.flatten txt)) in
+            if starts_with ~prefix:"check" seg then checked := true;
+            if starts_with ~prefix:"unsafe_" seg then begin
+              let ok =
+                !checked
+                || List.exists
+                     (fun (_, a) -> Callgraph.mentions_any a bounded)
+                     args
+              in
+              record ~ok e.pexp_loc seg
+            end;
+            List.iter (fun (_, a) -> go bounded a) args
+        | _ ->
+            go bounded head;
+            List.iter (fun (_, a) -> go bounded a) args)
+    | Pexp_for (p, lo, hi, _, body) ->
+        go bounded lo;
+        go bounded hi;
+        go (Callgraph.pat_vars p bounded) body
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        go bounded cond;
+        let bounded' =
+          if has_comparison cond then Callgraph.idents_in cond @ bounded
+          else bounded
+        in
+        go bounded' then_;
+        Option.iter (go bounded') else_
+    | Pexp_while (cond, body) ->
+        go bounded cond;
+        let bounded' =
+          if has_comparison cond then Callgraph.idents_in cond @ bounded
+          else bounded
+        in
+        go bounded' body
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        go bounded scrut;
+        List.iter
+          (fun (c : Parsetree.case) ->
+            let b =
+              match c.pc_guard with
+              | Some g when has_comparison g ->
+                  Callgraph.idents_in g @ bounded
+              | _ -> bounded
+            in
+            Option.iter (go b) c.pc_guard;
+            go b c.pc_rhs)
+          cases
+    | Pexp_let (_, vbs, cont) ->
+        let bounded' =
+          List.fold_left
+            (fun acc (vb : Parsetree.value_binding) ->
+              if stop_at_nested vb then acc
+              else begin
+                go acc vb.pvb_expr;
+                (* Derived indices: a let whose right-hand side mentions
+                   a bounded variable extends the proof to its name. *)
+                if Callgraph.mentions_any vb.pvb_expr acc then
+                  Callgraph.pat_vars vb.pvb_pat acc
+                else acc
+              end)
+            bounded vbs
+        in
+        go bounded' cont
+    | _ ->
+        Ast_iterator.default_iterator.expr
+          { Ast_iterator.default_iterator with expr = (fun _ e' -> go bounded e') }
+          e
+  in
+  go [] e
+
+let check (cg : Callgraph.t) ~(files : Source_file.t list)
+    ~(audited : string -> bool) : result =
+  let violations = ref [] in
+  let sites = ref 0 in
+  let guarded = ref 0 in
+  let record src ~ok loc seg =
+    incr sites;
+    if ok then incr guarded
+    else
+      violations :=
+        Rules.violation src loc rule
+          (Printf.sprintf
+             "%s is not dominated by a visible bounds guard in this \
+              function; add a check*, index with a loop/guard variable, \
+              or waive with [@dynlint.unsafe_ok \"reason\"]"
+             seg)
+        :: !violations
+  in
+  (* Function bodies: each body is scanned exactly once (nested named
+     functions are their own callgraph nodes, so the walk stops at
+     their bindings). *)
+  List.iter
+    (fun (fn : Callgraph.func) ->
+      let src = fn.Callgraph.src in
+      if audited src.Source_file.id then begin
+        let stop_at_nested vb =
+          Option.is_some (Callgraph.nested_func cg src vb)
+        in
+        let record = record src in
+        match fn.Callgraph.cases with
+        | Some cs ->
+            List.iter
+              (fun (c : Parsetree.case) ->
+                Option.iter (scan_expr ~stop_at_nested ~record) c.pc_guard;
+                scan_expr ~stop_at_nested ~record c.pc_rhs)
+              cs
+        | None -> scan_expr ~stop_at_nested ~record fn.Callgraph.body
+      end)
+    cg.Callgraph.funcs;
+  (* Top-level non-function bindings (module initialisation code): no
+     enclosing function means no same-function guard; only loop/guard
+     locality inside the expression itself can verify a site. *)
+  let scan_top (src : Source_file.t) =
+    let stop_at_nested vb = Option.is_some (Callgraph.nested_func cg src vb) in
+    let record = record src in
+    let rec items str =
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun (vb : Parsetree.value_binding) ->
+                  let params, _, _ = Callgraph.peel_params vb.pvb_expr [] in
+                  let named =
+                    match vb.pvb_pat.ppat_desc with
+                    | Ppat_var _ -> true
+                    | Ppat_constraint ({ ppat_desc = Ppat_var _; _ }, _) ->
+                        true
+                    | _ -> false
+                  in
+                  (* Named functions are covered by the funcs pass. *)
+                  if not (named && params <> []) then
+                    scan_expr ~stop_at_nested ~record vb.pvb_expr)
+                vbs
+          | Pstr_eval (e, _) -> scan_expr ~stop_at_nested ~record e
+          | Pstr_module
+              { pmb_expr = { pmod_desc = Pmod_structure inner; _ }; _ } ->
+              items inner
+          | _ -> ())
+        str
+    in
+    match src.Source_file.parsed with
+    | Source_file.Structure str -> items str
+    | Source_file.Signature _ | Source_file.Syntax_error _ -> ()
+  in
+  List.iter
+    (fun (src : Source_file.t) ->
+      if src.Source_file.kind = Source_file.Ml && audited src.Source_file.id
+      then scan_top src)
+    files;
+  { violations = List.rev !violations; sites = !sites; guarded = !guarded }

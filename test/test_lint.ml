@@ -86,7 +86,7 @@ let test_direct_print () =
        "open Dynet.Ops\n\nlet f n = Printf.printf \"%d\" n\n");
   check
     Alcotest.(list string)
-    "executables may print" []
+    "executables route output through Obs.Console" [ "direct-print" ]
     (lint ~id:"bin/fixture.ml" "let f () = print_endline \"x\"\n");
   check
     Alcotest.(list string)
@@ -171,6 +171,133 @@ let test_bad_waivers () =
     Alcotest.(list string)
     "ordinary comments are not waivers" []
     (lint ~id:"lib/obs/fixture.ml" "(* a comment about dynlint *)\nlet f x = x\n")
+
+(* {2 Callgraph rules: hot-alloc, unsafe-index, shard-ownership}
+
+   Each rule gets the same trio: a caught violation, a valid waiver
+   (claimed, silent), and a stale waiver (unclaimed, reported). *)
+
+let test_hot_alloc () =
+  check
+    Alcotest.(list string)
+    "allocation directly in a hot function" [ "hot-alloc" ]
+    (lint ~id:"lib/dynet/fixture.ml" "let hot x = (x, x) [@@dynlint.hot]\n");
+  check
+    Alcotest.(list string)
+    "allocation reached transitively" [ "hot-alloc" ]
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let box x = Some x\nlet hot x = box x [@@dynlint.hot]\n");
+  check
+    Alcotest.(list string)
+    "allocation-free hot path passes" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let add x y = x + y\nlet hot x = add x 1 [@@dynlint.hot]\n");
+  check
+    Alcotest.(list string)
+    "allocation off every hot path passes" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let box x = Some x\nlet hot x = x + 1 [@@dynlint.hot]\nlet g = box\n")
+
+let test_hot_alloc_waivers () =
+  check
+    Alcotest.(list string)
+    "alloc_ok cuts the hot path and is claimed" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let box x = Some x [@@dynlint.alloc_ok \"boxed by design\"]\n\
+        let hot x = box x [@@dynlint.hot]\n");
+  check
+    Alcotest.(list string)
+    "alloc_ok off every hot path is stale" [ "stale-waiver" ]
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let box x = Some x [@@dynlint.alloc_ok \"never on a hot path\"]\n\
+        let hot x = x + 1 [@@dynlint.hot]\n")
+
+let test_unsafe_index () =
+  check
+    Alcotest.(list string)
+    "unguarded unsafe_get in the audited scope" [ "unsafe-index" ]
+    (lint ~id:"lib/dynet/fixture.ml" "let f a i = Array.unsafe_get a i\n");
+  check
+    Alcotest.(list string)
+    "for-loop counter is a visible guard" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let sum a =\n\
+       \  let s = ref 0 in\n\
+       \  for i = 0 to Array.length a - 1 do\n\
+       \    s := !s + Array.unsafe_get a i\n\
+       \  done;\n\
+       \  !s\n");
+  check
+    Alcotest.(list string)
+    "if-comparison is a visible guard" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "open Ops\n\n\
+        let get a i = if i < Array.length a then Array.unsafe_get a i else 0\n");
+  check
+    Alcotest.(list string)
+    "outside the audited scope" []
+    (lint ~id:"lib/obs/fixture.ml" "let f a i = Array.unsafe_get a i\n")
+
+let test_unsafe_index_waivers () =
+  check
+    Alcotest.(list string)
+    "unsafe_ok waives the site" []
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let f a i = Array.unsafe_get a i\n\
+       \  [@@dynlint.unsafe_ok \"caller contract: i is in bounds\"]\n");
+  check
+    Alcotest.(list string)
+    "unsafe_ok with nothing to waive is stale" [ "stale-waiver" ]
+    (lint ~id:"lib/dynet/fixture.ml"
+       "let f a i = a.(i) [@@dynlint.unsafe_ok \"plain checked access\"]\n")
+
+let test_shard_ownership () =
+  check
+    Alcotest.(list string)
+    "write outside the span" [ "shard-ownership" ]
+    (lint ~id:"lib/engine/fixture.ml"
+       "let go pool (out : int array) =\n\
+       \  Engine.Shard_pool.run pool (fun ~shard:_ ~lo:_ ~hi:_ -> out.(0) <- 1)\n");
+  check
+    Alcotest.(list string)
+    "span-indexed writes are owned" []
+    (lint ~id:"lib/engine/fixture.ml"
+       "let go pool (out : int array) =\n\
+       \  Engine.Shard_pool.run pool (fun ~shard:_ ~lo ~hi ->\n\
+       \      for i = lo to hi - 1 do\n\
+       \        out.(i) <- 0\n\
+       \      done)\n");
+  check
+    Alcotest.(list string)
+    "job-local state is owned" []
+    (lint ~id:"lib/engine/fixture.ml"
+       "let go pool =\n\
+       \  Engine.Shard_pool.run pool (fun ~shard:_ ~lo ~hi ->\n\
+       \      let acc = ref 0 in\n\
+       \      for i = lo to hi - 1 do\n\
+       \        acc := !acc + i\n\
+       \      done;\n\
+       \      ignore !acc)\n")
+
+let test_shard_ownership_waivers () =
+  check
+    Alcotest.(list string)
+    "comment waiver silences the write" []
+    (lint ~id:"lib/engine/fixture.ml"
+       "let go pool (out : int array) =\n\
+       \  Engine.Shard_pool.run pool (fun ~shard:_ ~lo:_ ~hi:_ ->\n\
+       \      (* dynlint: allow shard-ownership -- single writer by contract *)\n\
+       \      out.(0) <- 1)\n");
+  check
+    Alcotest.(list string)
+    "unused shard-ownership waiver is stale" [ "stale-waiver" ]
+    (lint ~id:"lib/engine/fixture.ml"
+       "let go pool (out : int array) =\n\
+       \  Engine.Shard_pool.run pool (fun ~shard:_ ~lo ~hi ->\n\
+       \      (* dynlint: allow shard-ownership -- nothing to waive *)\n\
+       \      for i = lo to hi - 1 do\n\
+       \        out.(i) <- 0\n\
+       \      done)\n")
 
 (* {2 Fixture trees: missing-mli and the domain-safety audit} *)
 
@@ -366,6 +493,30 @@ let test_domain_safety_shard_pool_is_root () =
         "a Shard_pool call site roots the audit" [ "domain-safety" ]
         (rules (Driver.run [ lib ]).Driver.violations))
 
+(* {2 The committed bad-fixture tree}
+
+   The same seeded violations CI's smoke step greps for: if a dynlint
+   change stops catching any of them, this fails before the workflow
+   does. *)
+
+let test_bad_fixture_tree () =
+  let report = Driver.run [ "../lint/fixtures/bad/lib" ] in
+  check
+    Alcotest.(list (pair string string))
+    "every seeded violation is caught"
+    [
+      ("lib/dynet/hot_fixture.ml", "hot-alloc");
+      ("lib/dynet/hot_fixture.ml", "hot-alloc");
+      ("lib/dynet/stale_fixture.ml", "stale-waiver");
+      ("lib/dynet/stale_fixture.ml", "stale-waiver");
+      ("lib/dynet/unsafe_fixture.ml", "unsafe-index");
+      ("lib/engine/shard_fixture.ml", "shard-ownership");
+    ]
+    (List.sort compare
+       (List.map
+          (fun (v : Rules.violation) -> (v.Rules.id, v.Rules.rule))
+          report.Driver.violations))
+
 (* {2 Regression: the shipped tree is violation-free} *)
 
 let test_shipped_tree_clean () =
@@ -379,6 +530,19 @@ let test_shipped_tree_clean () =
        report.Driver.violations);
   check Alcotest.bool "scanned a real number of files" true
     (report.Driver.files_scanned > 100);
+  (* The callgraph pass must actually see the annotated kernel: hot
+     roots across Plane/Csr/Bitset/Soa, the audited unsafe_* sites
+     (every one guarded or waived), and the SoA shard jobs. *)
+  let stats = report.Driver.stats in
+  check Alcotest.bool "hot roots seeded across the kernel" true
+    (stats.Driver.hot_roots >= 20);
+  check Alcotest.bool "unsafe sites audited" true
+    (stats.Driver.unsafe_sites >= 20);
+  check Alcotest.int "every unsafe site is guarded or waived"
+    stats.Driver.unsafe_sites
+    (stats.Driver.unsafe_guarded + stats.Driver.unsafe_waived);
+  check Alcotest.bool "the SoA shard jobs are analyzed" true
+    (List.length stats.Driver.shard_jobs >= 6);
   (* The Sweep audit must actually cover the experiment stack. *)
   List.iter
     (fun id ->
@@ -403,6 +567,15 @@ let suite =
     Alcotest.test_case "waiver out of range" `Quick test_waiver_out_of_range;
     Alcotest.test_case "stale waiver" `Quick test_stale_waiver;
     Alcotest.test_case "malformed waivers" `Quick test_bad_waivers;
+    Alcotest.test_case "hot-alloc rule" `Quick test_hot_alloc;
+    Alcotest.test_case "hot-alloc waivers" `Quick test_hot_alloc_waivers;
+    Alcotest.test_case "unsafe-index rule" `Quick test_unsafe_index;
+    Alcotest.test_case "unsafe-index waivers" `Quick test_unsafe_index_waivers;
+    Alcotest.test_case "shard-ownership rule" `Quick test_shard_ownership;
+    Alcotest.test_case "shard-ownership waivers" `Quick
+      test_shard_ownership_waivers;
+    Alcotest.test_case "bad fixture tree trips every rule" `Quick
+      test_bad_fixture_tree;
     Alcotest.test_case "missing-mli" `Quick test_missing_mli;
     Alcotest.test_case "domain-safety: reachable ref" `Quick
       test_domain_safety_flags_reachable_ref;

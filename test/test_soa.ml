@@ -331,20 +331,22 @@ let test_boundary_mutant_observable () =
   check Alcotest.bool "the boundary mutant changes the report" false
     (String.equal (report clean) (report buggy))
 
-(* {2 Steady-state allocation} *)
+(* {2 Steady-state allocation}
 
-let test_round_loop_allocation_free () =
-  (* A one-per-node instance on a small cycle saturates within a few
-     dozen rounds; with [stop] never firing, every round after that is
-     pure steady state (everyone broadcasts, nobody learns): the plane
-     kernel must not allocate on the minor heap per round.  Measured
-     differentially — two identical runs except for 1000 extra rounds —
-     so setup, teardown and the saturation prefix cancel out. *)
-  let n = 8 in
-  let instance = Gossip.Instance.one_per_node ~n in
-  let g = Dynet.Graph_gen.cycle ~n in
-  let adversary ~round:_ ~prev:_ ~states:_ ~intents:_ = g in
-  let module E = (val Engine.Soa.engine () : Engine.Engine_sig.ENGINE) in
+   Differential minor-heap measurement shared by the three allocation
+   tests below: run the same configuration twice — once for 100
+   rounds, once for 1100 — and charge the difference to the extra
+   1000 rounds, so setup, teardown and the common prefix cancel out.
+   The result's timeline is one [(round, total, learnings)] entry per
+   round by contract, materialised in one burst after the loop; its
+   cost is measured the same way and subtracted, so the figure
+   isolates the round loop itself.  [Gc.minor_words] counts the
+   calling domain only, which is exactly the coordinating domain the
+   multi-shard tests want to pin (shard 0 always runs there). *)
+
+let per_round_minor_words engine ~instance ~graph =
+  let adversary ~round:_ ~prev:_ ~states:_ ~intents:_ = graph in
+  let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let minor_words rounds =
     let go () =
       ignore
@@ -361,10 +363,6 @@ let test_round_loop_allocation_free () =
     go ();
     Gc.minor_words () -. before
   in
-  (* The result's timeline is one [(round, total, learnings)] entry per
-     round by contract, materialised in one burst after the loop; its
-     cost is measured the same way and subtracted, so the assertion
-     pins the loop itself at zero. *)
   let timeline_words rounds =
     Gc.full_major ();
     let before = Gc.minor_words () in
@@ -374,12 +372,72 @@ let test_round_loop_allocation_free () =
   in
   let short = minor_words 100 and long = minor_words 1100 in
   let tshort = timeline_words 100 and tlong = timeline_words 1100 in
-  let per_round = (long -. short -. (tlong -. tshort)) /. 1000. in
+  (long -. short -. (tlong -. tshort)) /. 1000.
+
+let test_round_loop_allocation_free () =
+  (* A one-per-node instance on a small cycle saturates within a few
+     dozen rounds; with [stop] never firing, every round after that is
+     pure steady state (everyone broadcasts, nobody learns): the plane
+     kernel must not allocate on the minor heap per round. *)
+  let n = 8 in
+  let per_round =
+    per_round_minor_words (Engine.Soa.engine ())
+      ~instance:(Gossip.Instance.one_per_node ~n)
+      ~graph:(Dynet.Graph_gen.cycle ~n)
+  in
   if per_round > 0.25 then
     Alcotest.failf
       "steady-state flooding rounds allocate %.2f minor words/round beyond \
-       the timeline (short=%.0f long=%.0f timeline=%.0f)"
-      per_round short long (tlong -. tshort)
+       the timeline"
+      per_round
+
+let test_multi_shard_merge_allocation_free () =
+  (* The same saturated steady state at shards = 4 (spans are
+     unaligned, so even n = 8 splits into four real two-node shards):
+     the measurement now also covers the barrier round trips and the
+     ascending-shard staging-row merge between phases, none of which
+     may allocate per round on the coordinating domain. *)
+  let n = 8 in
+  let per_round =
+    per_round_minor_words
+      (Engine.Soa.engine ~shards:4 ())
+      ~instance:(Gossip.Instance.one_per_node ~n)
+      ~graph:(Dynet.Graph_gen.cycle ~n)
+  in
+  if per_round > 0.25 then
+    Alcotest.failf
+      "multi-shard steady-state rounds allocate %.2f minor words/round on \
+       the coordinating domain"
+      per_round
+
+let test_push_path_allocation_bounded () =
+  (* A single source on a long path spreads one node per round, so
+     every measured round keeps the broadcaster count under n/4 and
+     the engine picks the push-side delivery (push_job, staging-row
+     merge, apply_job) instead of pull.  The push path can never be
+     learning-free — a connected round with an uninformed node always
+     teaches one (any cut has a crossing edge) — so its sanctioned
+     budget is that one learning's allocation: the restated node
+     state plus [Plane.extract_row]'s detached mask, a small constant.
+     A regression that allocates per node or per edge inside the
+     delivery jobs shows up thousands of words over this bound at
+     n = 4600. *)
+  let n = 4600 in
+  List.iter
+    (fun shards ->
+      let per_round =
+        per_round_minor_words
+          (Engine.Soa.engine ~shards ())
+          ~instance:(Gossip.Instance.single_source ~n ~k:1 ~source:0)
+          ~graph:(Dynet.Graph_gen.path ~n)
+      in
+      if per_round > 64. then
+        Alcotest.failf
+          "push-path rounds at shards=%d allocate %.1f minor words/round; \
+           the budget is one learning's restate + extracted row (a small \
+           constant)"
+          shards per_round)
+    [ 1; 4 ]
 
 let suite =
   [
@@ -411,4 +469,8 @@ let suite =
       test_boundary_mutant_observable;
     Alcotest.test_case "soa: round loop allocation-free" `Quick
       test_round_loop_allocation_free;
+    Alcotest.test_case "soa: multi-shard merge allocation-free" `Quick
+      test_multi_shard_merge_allocation_free;
+    Alcotest.test_case "soa: push path allocation bounded" `Quick
+      test_push_path_allocation_bounded;
   ]
