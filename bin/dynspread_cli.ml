@@ -10,6 +10,10 @@
      dynspread sweep       size sweeps of one protocol x environment
      dynspread scenario    record / import / validate / run declarative
                            scenario workloads (lib/scenario)
+     dynspread serve       long-running gossip daemon: scenario jobs over
+                           a streaming rpc socket (lib/serve)
+     dynspread submit      client for `serve`: submit specs, stream back
+                           reports byte-identical to `scenario run`
 
    Every command is deterministic in --seed.  `run` and `sweep` take
    --trace FILE.jsonl (per-round event trace, NDJSON) and --json
@@ -233,7 +237,11 @@ let resolve_engine ~engine ~shards =
 
 (* Run [f] with a JSONL sink on --trace FILE, the null sink otherwise.
    [Obs.Sink.close] drains the sink's line buffer before the channel
-   goes away, so an abnormal exit never leaves a torn trailing line. *)
+   goes away, so an abnormal exit never leaves a torn trailing line.
+   The close is registered [at_exit] as well as in the [finally]:
+   [Stdlib.exit] from a signal handler runs at_exit callbacks but not
+   Fun.protect finalizers, and a SIGINT-ed run should still leave a
+   well-formed trace of the rounds that happened. *)
 let with_trace trace f =
   match trace with
   | None -> f Obs.Sink.null
@@ -243,11 +251,16 @@ let with_trace trace f =
           `Error (false, "cannot open trace file: " ^ msg)
       | oc ->
           let sink = Obs.Sink.jsonl oc in
-          Fun.protect
-            ~finally:(fun () ->
+          let closed = ref false in
+          let close () =
+            if not !closed then begin
+              closed := true;
               Obs.Sink.close sink;
-              close_out oc)
-            (fun () -> f sink))
+              close_out oc
+            end
+          in
+          at_exit close;
+          Fun.protect ~finally:close (fun () -> f sink))
 
 let profile_arg =
   Arg.(
@@ -264,14 +277,18 @@ let profile_arg =
 (* Run [f] with an active profiler on --profile FILE, the null profiler
    otherwise.  The profile is written in the [finally], so a run aborted
    by an engine violation still leaves a loadable file covering the
-   rounds that did execute. *)
+   rounds that did execute.  Like [with_trace], the write is also
+   registered [at_exit] (guarded so it happens once) for the
+   signal-handler [Stdlib.exit] path. *)
 let with_profile profile f =
   match profile with
   | None -> f Obs.Span.null
   | Some path ->
       let prof = Obs.Span.create () in
-      Fun.protect
-        ~finally:(fun () ->
+      let written = ref false in
+      let write () =
+        if not !written then begin
+          written := true;
           match open_out path with
           | exception Sys_error msg ->
               Obs.Console.error ("cannot open profile file: " ^ msg)
@@ -279,8 +296,27 @@ let with_profile profile f =
               Fun.protect
                 ~finally:(fun () -> close_out oc)
                 (fun () ->
-                  Obs.Span.write prof oc (Obs.Span.format_of_path path)))
-        (fun () -> f prof)
+                  Obs.Span.write prof oc (Obs.Span.format_of_path path))
+        end
+      in
+      at_exit write;
+      Fun.protect ~finally:write (fun () -> f prof)
+
+(* Satellite of the serve PR: long-running commands (serve,
+   experiments, fuzz) exit 130 on SIGINT/SIGTERM instead of dying with
+   the default disposition — [Stdlib.exit] runs the at_exit drains
+   above, so traces and profiles survive an interrupt. *)
+let exit_130 = Sys.Signal_handle (fun _ -> Stdlib.exit 130)
+
+let install_signal sg behavior =
+  match Sys.set_signal sg behavior with
+  | () -> ()
+  | exception Invalid_argument _ -> ()
+  | exception Sys_error _ -> ()
+
+let exit_on_signals () =
+  install_signal Sys.sigint exit_130;
+  install_signal Sys.sigterm exit_130
 
 (* {2 run} *)
 
@@ -638,6 +674,7 @@ let experiments_cmd =
   in
   let run ids csv seed jobs timings profile check =
     Check.set_enabled check;
+    exit_on_signals ();
     let metrics = if timings then Some (Obs.Metrics.create ()) else None in
     let selected =
       match ids with [] -> List.map snd experiment_names | _ :: _ -> ids
@@ -1221,6 +1258,7 @@ let fuzz_cmd =
   in
   let run runs seed corpus jobs shrink_budget json profile check engines =
     Check.set_enabled check;
+    exit_on_signals ();
     if runs < 1 then bad_flag "--runs %d must be >= 1" runs;
     validate_seed ~flag:"seed" seed;
     if shrink_budget < 1 then
@@ -1297,6 +1335,342 @@ let scenario_cmd =
       scenario_validate_cmd;
     ]
 
+(* {2 serve / submit}
+
+   The long-running daemon and its client.  `serve` owns a persistent
+   Domain pool behind a unix-domain (or TCP) socket speaking
+   dynspread-rpc/v1 (NDJSON frames, see DESIGN.md); `submit` sends
+   specs, streams reports back byte-identical to `scenario run`, and
+   maps outcomes onto the usual exit codes (0 completed, 1 cancelled,
+   3 failed, 2 for IO/protocol/validation problems). *)
+
+let parse_hostport ~flag s =
+  let fail () = bad_flag "--%s %S is not HOST:PORT" flag s in
+  match String.rindex_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      let host = if String.equal host "" then "127.0.0.1" else host in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> (host, p)
+      | Some _ | None -> fail ())
+
+let socket_arg =
+  Arg.(
+    value & opt string "dynspread.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain rpc socket path (an empty string disables the \
+           unix listener).")
+
+let serve_cmd =
+  let doc =
+    "Run the gossip daemon: accept scenario submissions over a streaming \
+     NDJSON rpc socket, schedule them over a persistent domain pool."
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Also accept rpc sessions over TCP.")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Answer HTTP $(b,GET /metrics) (Prometheus text format, \
+             namespace $(b,dynspread_serve)) on 127.0.0.1:$(docv).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int (Analysis.Sweep.recommended_jobs ())
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Worker domains in the job pool (spawned once, reused across \
+             jobs). Default: the machine's recommended domain count.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue-cap" ] ~docv:"Q"
+          ~doc:
+            "Bounded admission queue: submissions beyond $(docv) pending \
+             jobs are rejected with an explicit backpressure frame instead \
+             of queued without limit.")
+  in
+  let run socket listen metrics_port workers queue_cap check =
+    Check.set_enabled check;
+    if workers < 1 then bad_flag "--workers %d must be >= 1" workers;
+    if queue_cap < 1 then bad_flag "--queue-cap %d must be >= 1" queue_cap;
+    let listen = Option.map (parse_hostport ~flag:"listen") listen in
+    let socket = if String.equal socket "" then None else Some socket in
+    (match (socket, listen) with
+    | None, None -> bad_flag "serve needs --socket PATH or --listen HOST:PORT"
+    | Some _, _ | _, Some _ -> ());
+    let metrics =
+      Option.map
+        (fun p ->
+          if p < 0 || p > 65535 then
+            bad_flag "--metrics-port %d is out of range" p;
+          ("127.0.0.1", p))
+        metrics_port
+    in
+    (* First signal: flip [stop], the event loop cancels every job at
+       its next round boundary, flushes terminal frames, and [run]
+       returns [`Signalled].  Second signal: stop waiting, exit 130
+       now (at_exit drains still run). *)
+    let stop = Atomic.make 0 in
+    install_signal Sys.sigpipe Sys.Signal_ignore;
+    let graceful =
+      Sys.Signal_handle
+        (fun _ -> if Atomic.fetch_and_add stop 1 >= 1 then Stdlib.exit 130)
+    in
+    install_signal Sys.sigint graceful;
+    install_signal Sys.sigterm graceful;
+    (match socket with
+    | Some path ->
+        Obs.Console.note
+          (Printf.sprintf "serve: rpc on %s (%d worker(s), queue cap %d)"
+             path workers queue_cap)
+    | None -> ());
+    (match listen with
+    | Some (h, p) -> Obs.Console.note (Printf.sprintf "serve: rpc on %s:%d" h p)
+    | None -> ());
+    (match metrics with
+    | Some (h, p) ->
+        Obs.Console.note
+          (Printf.sprintf "serve: metrics on http://%s:%d/metrics" h p)
+    | None -> ());
+    match
+      Serve.Server.run
+        { Serve.Server.socket; listen; metrics; workers; queue_cap; stop }
+    with
+    | `Completed -> ()
+    | `Signalled -> exit 130
+    | exception Serve.Server.Startup_error msg ->
+        Obs.Console.error ("error: " ^ msg);
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ listen_arg $ metrics_port_arg $ workers_arg
+      $ queue_cap_arg $ check_arg)
+
+let submit_cmd =
+  let doc =
+    "Submit scenario specs to a running serve daemon and stream the \
+     reports back (byte-identical to $(b,dynspread scenario run))."
+  in
+  let specs_pos =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SPEC"
+          ~doc:"Scenario spec files (JSON), submitted in order.")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Reach the daemon over TCP instead of the unix socket.")
+  in
+  let events_arg =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Stream the job's dynspread-trace/v1 events to stderr while \
+             it runs (reports stay on stdout).")
+  in
+  let status_arg =
+    Arg.(
+      value & flag
+      & info [ "status" ] ~doc:"Print the daemon's job table and exit.")
+  in
+  let job_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "job" ] ~docv:"N" ~doc:"Restrict $(b,--status) to one job.")
+  in
+  let cancel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel" ] ~docv:"N" ~doc:"Cancel job N and exit.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to drain its queue and exit.")
+  in
+  let tag_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tag" ] ~docv:"TAG"
+          ~doc:
+            "Correlation tag echoed in the daemon's accepted/rejected \
+             frames. Default: the spec file's basename.")
+  in
+  let abs_dir path =
+    let d = Filename.dirname path in
+    if Filename.is_relative d then Filename.concat (Sys.getcwd ()) d else d
+  in
+  let run specs socket connect engine shards events status job cancel_id
+      shutdown_flag tag =
+    install_signal Sys.sigpipe Sys.Signal_ignore;
+    exit_on_signals ();
+    if shards < 1 then bad_flag "--shards %d must be >= 1" shards;
+    (match engine with
+    | Eng_soa -> ()
+    | Eng_fastpath | Eng_reference ->
+        if shards > 1 then
+          bad_flag "--shards %d applies to --engine soa only" shards);
+    let engine_name =
+      match engine with
+      | Eng_fastpath -> None
+      | Eng_reference -> Some "reference"
+      | Eng_soa -> Some "soa"
+    in
+    let shards_opt =
+      match engine with
+      | Eng_soa -> Some shards
+      | Eng_fastpath | Eng_reference -> None
+    in
+    let target =
+      match connect with
+      | Some hp ->
+          let host, port = parse_hostport ~flag:"connect" hp in
+          Serve.Client.Tcp (host, port)
+      | None ->
+          if String.equal socket "" then
+            bad_flag "submit needs --socket PATH or --connect HOST:PORT"
+          else Serve.Client.Unix_path socket
+    in
+    let io_guard f =
+      match f () with
+      | v -> v
+      | exception Serve.Client.Io_error msg ->
+          Obs.Console.error ("error: " ^ msg);
+          exit 2
+    in
+    let c = io_guard (fun () -> Serve.Client.connect target) in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    io_guard @@ fun () ->
+    if shutdown_flag then begin
+      Serve.Client.shutdown c;
+      Obs.Console.note "daemon is draining"
+    end
+    else
+      match cancel_id with
+      | Some jid -> (
+          match Serve.Client.cancel c ~job:jid with
+          | Ok was ->
+              Obs.Console.note
+                (Printf.sprintf "job %d cancelled (was %s)" jid was)
+          | Error reason ->
+              Obs.Console.error ("error: " ^ reason);
+              exit 2)
+      | None ->
+          if status then begin
+            let jobs, depth, running = Serve.Client.status c ?job () in
+            List.iter
+              (fun (v : Serve.Rpc.job_view) ->
+                Obs.Console.out
+                  (Printf.sprintf "%d\t%s\t%s\t%d" v.Serve.Rpc.job
+                     v.Serve.Rpc.name v.Serve.Rpc.state v.Serve.Rpc.reports))
+              jobs;
+            Obs.Console.note
+              (Printf.sprintf "queued %d, running %d" depth running)
+          end
+          else begin
+            (match specs with
+            | [] -> bad_flag "submit needs at least one SPEC file"
+            | _ :: _ -> ());
+            let worst = ref 0 in
+            List.iter
+              (fun path ->
+                let raw =
+                  match
+                    In_channel.with_open_bin path In_channel.input_all
+                  with
+                  | s -> s
+                  | exception Sys_error msg ->
+                      Obs.Console.error
+                        (Printf.sprintf "error: cannot read %s: %s" path msg);
+                      exit 2
+                in
+                let spec_json =
+                  match Obs.Json.of_string raw with
+                  | Ok j -> j
+                  | Error e ->
+                      Obs.Console.error
+                        (Printf.sprintf "error: %s is not JSON: %s" path e);
+                      exit 2
+                in
+                let sub =
+                  {
+                    Serve.Rpc.tag =
+                      (match tag with
+                      | Some _ -> tag
+                      | None -> Some (Filename.basename path));
+                    spec = spec_json;
+                    base_dir = Some (abs_dir path);
+                    engine = engine_name;
+                    shards = shards_opt;
+                    events;
+                  }
+                in
+                match
+                  Serve.Client.submit_await c sub
+                    ~on_event:(fun line -> Obs.Console.note line)
+                    ~on_report:(fun _ line -> Obs.Console.out line)
+                with
+                | Error reason ->
+                    Obs.Console.error
+                      (Printf.sprintf "error: %s: %s" path reason);
+                    exit 2
+                | Ok fin -> (
+                    match fin.Serve.Client.outcome with
+                    | "completed" -> ()
+                    | "cancelled" ->
+                        Obs.Console.note
+                          (Printf.sprintf
+                             "%s: job %d cancelled after %d report(s)" path
+                             fin.Serve.Client.job fin.Serve.Client.reports);
+                        if !worst < 1 then worst := 1
+                    | "failed" ->
+                        Obs.Console.error
+                          (Printf.sprintf "%s: job %d failed: %s" path
+                             fin.Serve.Client.job
+                             (Option.value fin.Serve.Client.reason
+                                ~default:"unknown failure"));
+                        worst := 3
+                    | other ->
+                        Obs.Console.error
+                          (Printf.sprintf
+                             "%s: job %d ended in unknown state %S" path
+                             fin.Serve.Client.job other);
+                        worst := 3))
+              specs;
+            if !worst > 0 then exit !worst
+          end
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ specs_pos $ socket_arg $ connect_arg $ engine_arg
+      $ shards_arg $ events_arg $ status_arg $ job_arg $ cancel_arg
+      $ shutdown_arg $ tag_arg)
+
 let main_cmd =
   let doc =
     "information spreading in adversarial dynamic networks (Ahmadi et al., \
@@ -1306,7 +1680,7 @@ let main_cmd =
   Cmd.group info
     [
       run_cmd; experiments_cmd; table1_cmd; lowerbound_cmd; competitive_cmd;
-      sweep_cmd; scenario_cmd; fuzz_cmd;
+      sweep_cmd; scenario_cmd; fuzz_cmd; serve_cmd; submit_cmd;
     ]
 
 (* The engine's violation exceptions mean a protocol or adversary

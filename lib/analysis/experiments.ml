@@ -1139,6 +1139,10 @@ let outcome_cell (result : Engine.Run_result.t) =
       | Some c -> Printf.sprintf "partial %.0f%%" (100. *. c)
       | None -> "partial")
   | Engine.Run_result.Stalled _ -> "stalled"
+  | Engine.Run_result.Cancelled _ as o -> (
+      match Engine.Run_result.coverage o with
+      | Some c -> Printf.sprintf "cancelled %.0f%%" (100. *. c)
+      | None -> "cancelled")
   | Engine.Run_result.Aborted _ -> "aborted"
 
 let fault_count (result : Engine.Run_result.t) field =

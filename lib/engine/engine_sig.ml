@@ -15,6 +15,7 @@ module type BROADCAST = sig
     ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
     ?target_progress:int ->
     ?stall_after:int ->
+    ?cancel:(unit -> bool) ->
     states:'s array ->
     adversary:('s, 'm) Runner_broadcast.adversary ->
     max_rounds:int ->
@@ -33,6 +34,7 @@ module type UNICAST = sig
     ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
     ?target_progress:int ->
     ?stall_after:int ->
+    ?cancel:(unit -> bool) ->
     states:'s array ->
     adversary:'s Runner_unicast.adversary ->
     max_rounds:int ->

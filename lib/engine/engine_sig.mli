@@ -22,7 +22,17 @@
     and timeline — and drive [?on_graph] with the identical committed
     round-graph sequence.  Trace-event streams and profiling spans
     must match the engine docs but are not part of the bit-identity
-    contract. *)
+    contract.
+
+    Cooperative cancellation: engines poll [?cancel] once per round
+    boundary (including before the first round, so a pre-cancelled run
+    executes zero rounds).  A poll returning [true] ends the run with
+    a {!Run_result.Cancelled} outcome carrying the progress achieved
+    so far; once it has returned [true] the engine treats the run as
+    cancelled without polling again.  Completion observed at the same
+    boundary wins over cancellation (cancel-after-completion is a
+    no-op), and the default ([None]) costs one option test per
+    round. *)
 
 module type BROADCAST = sig
   val run :
@@ -34,6 +44,7 @@ module type BROADCAST = sig
     ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
     ?target_progress:int ->
     ?stall_after:int ->
+    ?cancel:(unit -> bool) ->
     states:'s array ->
     adversary:('s, 'm) Runner_broadcast.adversary ->
     max_rounds:int ->
@@ -53,6 +64,7 @@ module type UNICAST = sig
     ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
     ?target_progress:int ->
     ?stall_after:int ->
+    ?cancel:(unit -> bool) ->
     states:'s array ->
     adversary:'s Runner_unicast.adversary ->
     max_rounds:int ->

@@ -44,7 +44,7 @@ module Broadcast = struct
              with type state = s
               and type msg = m) ?init_prev ?(obs = Obs.Sink.null)
       ?(faults = Faults.Plan.none) ?(prof = Obs.Span.null) ?on_graph
-      ?target_progress ?stall_after ~(states : s array)
+      ?target_progress ?stall_after ?cancel ~(states : s array)
       ~(adversary : (s, m) Runner_broadcast.adversary) ~max_rounds ~stop () =
     let n = Array.length states in
     let ledger = Ledger.create () in
@@ -74,9 +74,19 @@ module Broadcast = struct
     let stalled = ref false in
     let completed = ref (stop states) in
     let aborted = ref None in
+    (* Cooperative cancellation, polled once per round boundary; see
+       Runner_broadcast for the latching scheme. *)
+    let cancelled = ref false in
+    let cancel_requested () =
+      (match cancel with
+      | None -> ()
+      | Some c -> if not !cancelled then cancelled := c ());
+      !cancelled
+    in
     let round = ref 0 in
     while
       (not !completed) && (not !stalled) && Option.is_none !aborted
+      && (not (cancel_requested ()))
       && !round < max_rounds
     do
       incr round;
@@ -296,6 +306,12 @@ module Broadcast = struct
           if !completed then Run_result.Completed
           else if !stalled then
             Run_result.Stalled { rounds_without_progress = !stagnant }
+          else if !cancelled then
+            Run_result.Cancelled
+              {
+                achieved = sum_progress P.progress states;
+                target = target_progress;
+              }
           else
             Run_result.Partial
               {
@@ -314,7 +330,7 @@ module Unicast = struct
              with type state = s
               and type msg = m) ?init_prev ?(obs = Obs.Sink.null)
       ?(faults = Faults.Plan.none) ?(prof = Obs.Span.null) ?on_graph
-      ?target_progress ?stall_after ~(states : s array)
+      ?target_progress ?stall_after ?cancel ~(states : s array)
       ~(adversary : s Runner_unicast.adversary) ~max_rounds ~stop () =
     let n = Array.length states in
     let ledger = Ledger.create () in
@@ -345,9 +361,19 @@ module Unicast = struct
     let stalled = ref false in
     let completed = ref (stop states) in
     let aborted = ref None in
+    (* Cooperative cancellation, polled once per round boundary; see
+       Runner_broadcast for the latching scheme. *)
+    let cancelled = ref false in
+    let cancel_requested () =
+      (match cancel with
+      | None -> ()
+      | Some c -> if not !cancelled then cancelled := c ());
+      !cancelled
+    in
     let round = ref 0 in
     while
       (not !completed) && (not !stalled) && Option.is_none !aborted
+      && (not (cancel_requested ()))
       && !round < max_rounds
     do
       incr round;
@@ -569,6 +595,12 @@ module Unicast = struct
           if !completed then Run_result.Completed
           else if !stalled then
             Run_result.Stalled { rounds_without_progress = !stagnant }
+          else if !cancelled then
+            Run_result.Cancelled
+              {
+                achieved = sum_progress P.progress states;
+                target = target_progress;
+              }
           else
             Run_result.Partial
               {

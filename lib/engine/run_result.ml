@@ -2,6 +2,7 @@ type outcome =
   | Completed
   | Partial of { achieved : int; target : int option }
   | Stalled of { rounds_without_progress : int }
+  | Cancelled of { achieved : int; target : int option }
   | Aborted of string
 
 type t = {
@@ -15,9 +16,11 @@ type t = {
 
 let coverage = function
   | Completed -> Some 1.
-  | Partial { achieved; target = Some target } when target > 0 ->
+  | Partial { achieved; target = Some target }
+  | Cancelled { achieved; target = Some target }
+    when target > 0 ->
       Some (Float.min 1. (float_of_int achieved /. float_of_int target))
-  | Partial _ | Stalled _ | Aborted _ -> None
+  | Partial _ | Cancelled _ | Stalled _ | Aborted _ -> None
 
 let make ?outcome ?fault_counts ~rounds ~completed ~ledger ~timeline () =
   let outcome =
@@ -37,13 +40,14 @@ let outcome_fields t =
     | Completed -> "completed"
     | Partial _ -> "partial"
     | Stalled _ -> "stalled"
+    | Cancelled _ -> "cancelled"
     | Aborted _ -> "aborted"
   in
   let base = [ ("outcome", Obs.Json.String tag) ] in
   let detail =
     match t.outcome with
     | Completed -> []
-    | Partial { achieved; target } ->
+    | Partial { achieved; target } | Cancelled { achieved; target } ->
         [ ("achieved", Obs.Json.Int achieved) ]
         @ (match target with
           | None -> []
@@ -96,6 +100,10 @@ let pp ppf t =
         Printf.sprintf "PARTIAL %d/%d (%.0f%% coverage)" achieved target
           (100. *. float_of_int achieved /. float_of_int target)
     | Partial _ -> "HIT ROUND CAP"
+    | Cancelled { achieved; target = Some target } when target > 0 ->
+        Printf.sprintf "CANCELLED %d/%d (%.0f%% coverage)" achieved target
+          (100. *. float_of_int achieved /. float_of_int target)
+    | Cancelled _ -> "CANCELLED"
     | Stalled { rounds_without_progress } ->
         Printf.sprintf "STALLED (no progress for %d rounds)"
           rounds_without_progress

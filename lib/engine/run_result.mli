@@ -10,13 +10,20 @@
     rounds (at least the caller's [stall_after] window, typically a
     full schedule period), so the run was cut short instead of spinning
     to the round cap — the outcome a protocol livelocking against a
-    periodic schedule reports.  [Aborted] — the engine detected the run
-    could never make further progress (e.g. every node crashed under a
-    fault plan with no restarts) and stopped early. *)
+    periodic schedule reports.  [Cancelled] — the caller's cooperative
+    [?cancel] poll fired at a round boundary and the run stopped there;
+    like [Partial] it carries the progress achieved so far and the
+    declared target, so a cancelled run still reports its coverage.  A
+    run whose stop predicate fired before the cancel poll was observed
+    reports [Completed] — cancellation after completion is a no-op.
+    [Aborted] — the engine detected the run could never make further
+    progress (e.g. every node crashed under a fault plan with no
+    restarts) and stopped early. *)
 type outcome =
   | Completed
   | Partial of { achieved : int; target : int option }
   | Stalled of { rounds_without_progress : int }
+  | Cancelled of { achieved : int; target : int option }
   | Aborted of string
 
 type t = {
@@ -38,7 +45,8 @@ type t = {
 val coverage : outcome -> float option
 (** Fraction of the declared target achieved: [Some 1.] for
     [Completed], [Some (achieved/target)] (clamped to 1) for a
-    [Partial] with a known positive target, [None] otherwise. *)
+    [Partial] or [Cancelled] with a known positive target, [None]
+    otherwise. *)
 
 val make :
   ?outcome:outcome ->
@@ -66,8 +74,8 @@ val to_report :
     ready for JSON output.  [name] (default ["run"]) labels the run;
     [extra] fields are appended to the JSON object verbatim.  The
     degradation outcome is always included (an ["outcome"] field, plus
-    ["achieved"]/["target"]/["coverage"] for partial runs and
-    ["abort_reason"] for aborted ones); when a fault plan was active a
-    ["faults"] object carries the per-class fault counts. *)
+    ["achieved"]/["target"]/["coverage"] for partial and cancelled runs
+    and ["abort_reason"] for aborted ones); when a fault plan was
+    active a ["faults"] object carries the per-class fault counts. *)
 
 val pp : Format.formatter -> t -> unit

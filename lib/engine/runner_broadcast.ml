@@ -37,7 +37,7 @@ type ('state, 'msg) adversary =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after ?cancel
     ~(states : s array)
     ~(adversary : (s, m) adversary)
     ~max_rounds ~stop () =
@@ -92,9 +92,22 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let stalled = ref false in
   let completed = ref (stop states) in
   let aborted = ref None in
+  (* Cooperative cancellation, polled once per round boundary (the
+     first poll happens before round 1, so a pre-cancelled run
+     executes zero rounds).  Latched: once the caller's poll returns
+     true the run is cancelled for good and the poll never fires
+     again. *)
+  let cancelled = ref false in
+  let cancel_requested () =
+    (match cancel with
+    | None -> ()
+    | Some c -> if not !cancelled then cancelled := c ());
+    !cancelled
+  in
   let round = ref 0 in
   while
     (not !completed) && (not !stalled) && Option.is_none !aborted
+    && (not (cancel_requested ()))
     && !round < max_rounds
   do
     incr round;
@@ -337,6 +350,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         if !completed then Run_result.Completed
         else if !stalled then
           Run_result.Stalled { rounds_without_progress = !stagnant }
+        else if !cancelled then
+          Run_result.Cancelled
+            { achieved = sum_progress (); target = target_progress }
         else
           Run_result.Partial
             { achieved = sum_progress (); target = target_progress }

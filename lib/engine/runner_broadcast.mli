@@ -87,6 +87,7 @@ val run :
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   ?stall_after:int ->
+  ?cancel:(unit -> bool) ->
   states:'s array ->
   adversary:('s, 'm) adversary ->
   max_rounds:int ->
@@ -104,6 +105,15 @@ val run :
     {!Scenario.Runner} for the window used on looped traces.  Leave it
     off against adaptive adversaries, which starve progress
     legitimately.
+
+    [cancel] (default: off) is the cooperative cancellation poll of
+    the serve scheduler: it is consulted once per round boundary —
+    including before round 1, so a pre-cancelled run executes zero
+    rounds — and a [true] latches, ending the run with a
+    {!Run_result.Cancelled} outcome carrying the progress achieved.
+    Completion observed at the same boundary wins (cancelling a
+    finished run is a no-op).
+
     [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting when chaining runs.
 

@@ -49,7 +49,7 @@ let mem_sorted arr x =
 
 let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
     ?init_prev ?(obs = Obs.Sink.null) ?(faults = Faults.Plan.none)
-    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after
+    ?(prof = Obs.Span.null) ?on_graph ?target_progress ?stall_after ?cancel
     ~(states : s array)
     ~(adversary : s adversary)
     ~max_rounds ~stop () =
@@ -112,9 +112,19 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
   let stalled = ref false in
   let completed = ref (stop states) in
   let aborted = ref None in
+  (* Cooperative cancellation, polled once per round boundary; see
+     Runner_broadcast for the latching scheme. *)
+  let cancelled = ref false in
+  let cancel_requested () =
+    (match cancel with
+    | None -> ()
+    | Some c -> if not !cancelled then cancelled := c ());
+    !cancelled
+  in
   let round = ref 0 in
   while
     (not !completed) && (not !stalled) && Option.is_none !aborted
+    && (not (cancel_requested ()))
     && !round < max_rounds
   do
     incr round;
@@ -346,6 +356,9 @@ let run (type s m) (module P : PROTOCOL with type state = s and type msg = m)
         if !completed then Run_result.Completed
         else if !stalled then
           Run_result.Stalled { rounds_without_progress = !stagnant }
+        else if !cancelled then
+          Run_result.Cancelled
+            { achieved = sum_progress (); target = target_progress }
         else
           Run_result.Partial
             { achieved = sum_progress (); target = target_progress }

@@ -66,6 +66,7 @@ val run :
   ?on_graph:(round:int -> Dynet.Graph.t -> unit) ->
   ?target_progress:int ->
   ?stall_after:int ->
+  ?cancel:(unit -> bool) ->
   states:'s array ->
   adversary:'s adversary ->
   max_rounds:int ->
@@ -78,6 +79,11 @@ val run :
     {!Run_result.Stalled} instead of spinning to the round cap — the
     honest verdict for a deterministic protocol limit-cycling against
     a periodic (looped-trace) schedule.
+
+    [cancel] (default: off) is the cooperative cancellation poll of
+    {!Runner_broadcast.run}: polled once per round boundary (including
+    before round 1), latching, with completion winning over a cancel
+    observed at the same boundary.
 
     [init_prev] (default: the empty graph [G_0]) seeds the
     topological-change accounting — pass the previous phase's last

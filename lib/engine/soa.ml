@@ -62,7 +62,7 @@ end
 let run_plane (type s m)
     (module P : Runner_broadcast.PROTOCOL with type state = s and type msg = m)
     (spec : (s, m) Runner_broadcast.plane_spec) ~spans ?init_prev ~obs ~prof
-    ?on_graph ?target_progress ?stall_after ~(states : s array)
+    ?on_graph ?target_progress ?stall_after ?cancel ~(states : s array)
     ~(adversary : (s, m) Runner_broadcast.adversary) ~max_rounds ~stop () =
   let n = Array.length states in
   let shards = Array.length spans in
@@ -139,6 +139,15 @@ let run_plane (type s m)
   let stagnant = ref 0 in
   let stalled = ref false in
   let completed = ref (stop states) in
+  (* Cooperative cancellation, polled once per round boundary; see
+     Runner_broadcast for the latching scheme. *)
+  let cancelled = ref false in
+  let cancel_requested () =
+    (match cancel with
+    | None -> ()
+    | Some c -> if not !cancelled then cancelled := c ());
+    !cancelled
+  in
   let round = ref 0 in
   (* Hoisted phase jobs: the same two closures fire every round, so the
      barrier machinery allocates nothing inside the loop. *)
@@ -245,7 +254,11 @@ let run_plane (type s m)
   [@@dynlint.hot]
   in
   Shard_pool.with_pool ~spans @@ fun pool ->
-  while (not !completed) && (not !stalled) && !round < max_rounds do
+  while
+    (not !completed) && (not !stalled)
+    && (not (cancel_requested ()))
+    && !round < max_rounds
+  do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -411,6 +424,8 @@ let run_plane (type s m)
     if !completed then Run_result.Completed
     else if !stalled then
       Run_result.Stalled { rounds_without_progress = !stagnant }
+    else if !cancelled then
+      Run_result.Cancelled { achieved = !total_known; target = target_progress }
     else Run_result.Partial { achieved = !total_known; target = target_progress }
   in
   ( Run_result.make ~outcome ~rounds:!round ~completed:!completed ~ledger
@@ -422,7 +437,8 @@ let run_plane (type s m)
 let run_unicast_sharded (type s m)
     (module P : Runner_unicast.PROTOCOL with type state = s and type msg = m)
     ~spans ?init_prev ~obs ~prof ?on_graph ?target_progress ?stall_after
-    ~(states : s array) ~(adversary : s Runner_unicast.adversary) ~max_rounds
+    ?cancel ~(states : s array) ~(adversary : s Runner_unicast.adversary)
+    ~max_rounds
     ~stop () =
   let n = Array.length states in
   let shards = Array.length spans in
@@ -454,6 +470,15 @@ let run_unicast_sharded (type s m)
   let stagnant = ref 0 in
   let stalled = ref false in
   let completed = ref (stop states) in
+  (* Cooperative cancellation, polled once per round boundary; see
+     Runner_broadcast for the latching scheme. *)
+  let cancelled = ref false in
+  let cancel_requested () =
+    (match cancel with
+    | None -> ()
+    | Some c -> if not !cancelled then cancelled := c ());
+    !cancelled
+  in
   let round = ref 0 in
   (* Send phase scratch: workers park the new state and raw send list
      per node (committed by the coordinator in node order, so a
@@ -516,7 +541,11 @@ let run_unicast_sharded (type s m)
     done
   in
   Shard_pool.with_pool ~spans @@ fun pool ->
-  while (not !completed) && (not !stalled) && !round < max_rounds do
+  while
+    (not !completed) && (not !stalled)
+    && (not (cancel_requested ()))
+    && !round < max_rounds
+  do
     incr round;
     let r = !round in
     if tracing then Obs.Sink.emit obs (Obs.Trace.Round_start { round = r });
@@ -660,6 +689,9 @@ let run_unicast_sharded (type s m)
     if !completed then Run_result.Completed
     else if !stalled then
       Run_result.Stalled { rounds_without_progress = !stagnant }
+    else if !cancelled then
+      Run_result.Cancelled
+        { achieved = sum_progress (); target = target_progress }
     else
       Run_result.Partial { achieved = sum_progress (); target = target_progress }
   in
@@ -693,8 +725,8 @@ let make ?(shards = 1) ?(boundary_bug = false) () =
             with type state = s
              and type msg = m) ?init_prev ?(obs = Obs.Sink.null)
           ?(faults = Faults.Plan.none) ?(prof = Obs.Span.null) ?on_graph
-          ?target_progress ?stall_after ~states ~adversary ~max_rounds ~stop
-          () =
+          ?target_progress ?stall_after ?cancel ~states ~adversary
+          ~max_rounds ~stop () =
         let n = Array.length states in
         match P.plane with
         | Some spec
@@ -706,12 +738,12 @@ let make ?(shards = 1) ?(boundary_bug = false) () =
               spec
               ~spans:(spans_for ~n ~shards ~boundary_bug)
               ?init_prev ~obs ~prof ?on_graph ?target_progress ?stall_after
-              ~states ~adversary ~max_rounds ~stop ()
+              ?cancel ~states ~adversary ~max_rounds ~stop ()
         | Some _ | None ->
             Runner_broadcast.run
               (module P)
               ?init_prev ~obs ~faults ~prof ?on_graph ?target_progress
-              ?stall_after ~states ~adversary ~max_rounds ~stop ()
+              ?stall_after ?cancel ~states ~adversary ~max_rounds ~stop ()
     end
 
     module Unicast = struct
@@ -720,20 +752,20 @@ let make ?(shards = 1) ?(boundary_bug = false) () =
             with type state = s
              and type msg = m) ?init_prev ?(obs = Obs.Sink.null)
           ?(faults = Faults.Plan.none) ?(prof = Obs.Span.null) ?on_graph
-          ?target_progress ?stall_after ~states ~adversary ~max_rounds ~stop
-          () =
+          ?target_progress ?stall_after ?cancel ~states ~adversary
+          ~max_rounds ~stop () =
         let n = Array.length states in
         if Faults.Plan.is_none faults && n > 0 then
           run_unicast_sharded
             (module P)
             ~spans:(spans_for ~n ~shards ~boundary_bug)
             ?init_prev ~obs ~prof ?on_graph ?target_progress ?stall_after
-            ~states ~adversary ~max_rounds ~stop ()
+            ?cancel ~states ~adversary ~max_rounds ~stop ()
         else
           Runner_unicast.run
             (module P)
             ?init_prev ~obs ~faults ~prof ?on_graph ?target_progress
-            ?stall_after ~states ~adversary ~max_rounds ~stop ()
+            ?stall_after ?cancel ~states ~adversary ~max_rounds ~stop ()
     end
   end in
   (module E : Engine_sig.ENGINE)

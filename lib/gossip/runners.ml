@@ -11,7 +11,7 @@ let unicast_adversary ~n = function
       Adversary.Request_cutter.adversary ~seed ~n ~cut_prob
 
 let single_source ~instance ~env ?(engine = Engine.Default.engine)
-    ?max_rounds ?stall_after ?config ?faults ?obs ?prof ?on_graph () =
+    ?max_rounds ?stall_after ?cancel ?config ?faults ?obs ?prof ?on_graph () =
   let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
@@ -19,7 +19,7 @@ let single_source ~instance ~env ?(engine = Engine.Default.engine)
   in
   let states = Single_source.init ?config ~instance () in
   E.Unicast.run Single_source.protocol ?obs ?faults ?prof ?on_graph
-    ?stall_after
+    ?stall_after ?cancel
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -27,7 +27,7 @@ let single_source ~instance ~env ?(engine = Engine.Default.engine)
     ()
 
 let multi_source ~instance ~env ?(engine = Engine.Default.engine) ?max_rounds
-    ?stall_after ?source_order ?seed ?faults ?obs ?prof ?on_graph () =
+    ?stall_after ?cancel ?source_order ?seed ?faults ?obs ?prof ?on_graph () =
   let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
@@ -35,7 +35,7 @@ let multi_source ~instance ~env ?(engine = Engine.Default.engine) ?max_rounds
   in
   let states = Multi_source.init ?source_order ?seed ~instance () in
   E.Unicast.run Multi_source.protocol ?obs ?faults ?prof ?on_graph
-    ?stall_after
+    ?stall_after ?cancel
     ~target_progress:(n * k) ~states
     ~adversary:(unicast_adversary ~n env)
     ~max_rounds
@@ -125,7 +125,7 @@ let reliable_multi_source ~instance ~env ?max_rounds ?source_order ?seed ?rto
     retransmits )
 
 let flooding ~instance ~schedule ?(engine = Engine.Default.engine) ?phase_len
-    ?max_rounds ?stall_after ?faults ?obs ?prof ?on_graph () =
+    ?max_rounds ?stall_after ?cancel ?faults ?obs ?prof ?on_graph () =
   let module E = (val engine : Engine.Engine_sig.ENGINE) in
   let n = Instance.n instance and k = Instance.k instance in
   let max_rounds =
@@ -133,6 +133,7 @@ let flooding ~instance ~schedule ?(engine = Engine.Default.engine) ?phase_len
   in
   let states = Flooding.init ~instance ?phase_len () in
   E.Broadcast.run Flooding.protocol ?obs ?faults ?prof ?on_graph ?stall_after
+    ?cancel
     ~target_progress:(n * k) ~states
     ~adversary:(Adversary.Schedule.broadcast schedule)
     ~max_rounds

@@ -42,7 +42,10 @@
     forward the engines' [?stall_after] livelock window, which
     {!Scenario.Runner} arms on looped-trace environments so a
     deterministic protocol limit-cycling against a periodic schedule
-    reports [Stalled] instead of spinning to its round cap. *)
+    reports [Stalled] instead of spinning to its round cap, and the
+    engines' [?cancel] cooperative-cancellation poll, which the serve
+    scheduler uses to stop a running job at the next round boundary
+    with a [Cancelled] outcome. *)
 
 type unicast_env =
   | Oblivious of Adversary.Schedule.t
@@ -63,6 +66,7 @@ val single_source :
   ?engine:(module Engine.Engine_sig.ENGINE) ->
   ?max_rounds:int ->
   ?stall_after:int ->
+  ?cancel:(unit -> bool) ->
   ?config:Single_source.config ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
@@ -80,6 +84,7 @@ val multi_source :
   ?engine:(module Engine.Engine_sig.ENGINE) ->
   ?max_rounds:int ->
   ?stall_after:int ->
+  ?cancel:(unit -> bool) ->
   ?source_order:Multi_source.source_order ->
   ?seed:int ->
   ?faults:Faults.Plan.t ->
@@ -133,6 +138,7 @@ val flooding :
   ?phase_len:int ->
   ?max_rounds:int ->
   ?stall_after:int ->
+  ?cancel:(unit -> bool) ->
   ?faults:Faults.Plan.t ->
   ?obs:Obs.Sink.t ->
   ?prof:Obs.Span.t ->

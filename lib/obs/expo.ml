@@ -66,3 +66,14 @@ let to_string ?namespace m =
 
 let write ?namespace oc m =
   output_string oc (to_string ?namespace m)
+
+let http_response ?namespace m =
+  let body = to_string ?namespace m in
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body

@@ -25,3 +25,9 @@ val to_string : ?namespace:string -> Metrics.t -> string
 
 val write : ?namespace:string -> out_channel -> Metrics.t -> unit
 (** Write the exposition to a channel.  Does not flush. *)
+
+val http_response : ?namespace:string -> Metrics.t -> string
+(** The exposition wrapped as one complete HTTP/1.0 [200 OK] response
+    (correct [Content-Length], [Connection: close]) — everything a
+    [GET /metrics] responder needs to write before closing the
+    socket. *)

@@ -130,7 +130,7 @@ let rw_report (spec : Spec.t) ~name ~n ~seed (r : Gossip.Oblivious_rw.result)
         ])
     as_run_result
 
-let run_point (spec : Spec.t) ?engine ~trace ~n ~prof ~seed () =
+let run_point (spec : Spec.t) ?engine ?obs ?cancel ~trace ~n ~prof ~seed () =
   let name =
     spec.name ^ "/" ^ Spec.algorithm_name spec.algorithm ^ "/seed="
     ^ string_of_int seed
@@ -165,29 +165,60 @@ let run_point (spec : Spec.t) ?engine ~trace ~n ~prof ~seed () =
   | Spec.Flooding ->
       let result, _ =
         Gossip.Runners.flooding ~instance ~schedule:(schedule ()) ?engine
-          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+          ~faults ?obs ?cancel ~prof ?max_rounds:spec.max_rounds ?stall_after
+          ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Single_source ->
       let result, _ =
         Gossip.Runners.single_source ~instance ~env:(unicast_env ()) ?engine
-          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+          ~faults ?obs ?cancel ~prof ?max_rounds:spec.max_rounds ?stall_after
+          ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Multi_source ->
       let result, _ =
         Gossip.Runners.multi_source ~instance ~env:(unicast_env ()) ?engine
-          ~faults ~prof ?max_rounds:spec.max_rounds ?stall_after ()
+          ~faults ?obs ?cancel ~prof ?max_rounds:spec.max_rounds ?stall_after
+          ()
       in
       engine_report spec ~name ~n ~seed result
   | Spec.Oblivious_rw ->
-      let r =
-        Gossip.Runners.oblivious_rw ~instance ~schedule:(schedule ()) ~seed
-          ~const_f:0.05 ~force_rw:true ~prof ()
+      (* Algorithm 2 is not engine-parametric, so it has no round-
+         boundary cancel hook: a cancel observed before the repeat
+         starts yields a zero-round [Cancelled] report, one arriving
+         mid-run takes effect at the next repeat boundary. *)
+      let pre_cancelled =
+        match cancel with None -> false | Some c -> c ()
       in
-      rw_report spec ~name ~n ~seed r
+      if pre_cancelled then
+        engine_report spec ~name ~n ~seed
+          (Engine.Run_result.make
+             ~outcome:
+               (Engine.Run_result.Cancelled { achieved = 0; target = None })
+             ~rounds:0 ~completed:false
+             ~ledger:(Engine.Ledger.create ())
+             ~timeline:[] ())
+      else
+        let r =
+          Gossip.Runners.oblivious_rw ~instance ~schedule:(schedule ()) ~seed
+            ~const_f:0.05 ~force_rw:true ?obs ~prof ()
+        in
+        rw_report spec ~name ~n ~seed r
 
-let run ?jobs ?base_dir ?prof ?engine (spec : Spec.t) =
+(* A spec with its environment materialized: the trace (if any) loaded
+   and checked, [n] resolved, the per-repeat seeds laid out.  This is
+   the resumable unit the serve scheduler works in — prepare once,
+   then run repeats one at a time, checking for cancellation in
+   between. *)
+type prepared = {
+  spec : Spec.t;
+  trace : Trace_io.t option;
+  n : int;
+  seeds : int array;
+}
+
+let prepare ?base_dir (spec : Spec.t) =
   match resolve_trace ?base_dir spec with
   | Error e -> Error e
   | Ok trace -> (
@@ -201,9 +232,19 @@ let run ?jobs ?base_dir ?prof ?engine (spec : Spec.t) =
       | None -> Error "spec has no n and no trace to take it from"
       | Some n ->
           let seeds = Array.init spec.repeats (fun i -> spec.seed + i) in
-          Ok
-            (Analysis.Sweep.map_span ?jobs ?prof
-               ~name:("scenario/" ^ spec.name)
-               (fun ~prof seed ->
-                 run_point spec ?engine ~trace ~n ~prof ~seed ())
-               seeds))
+          Ok { spec; trace; n; seeds })
+
+let run_repeat ?(prof = Obs.Span.null) ?engine ?obs ?cancel prepared ~seed =
+  run_point prepared.spec ?engine ?obs ?cancel ~trace:prepared.trace
+    ~n:prepared.n ~prof ~seed ()
+
+let run_prepared ?jobs ?prof ?engine ?cancel prepared =
+  Analysis.Sweep.map_span ?jobs ?prof
+    ~name:("scenario/" ^ prepared.spec.Spec.name)
+    (fun ~prof seed -> run_repeat ~prof ?engine ?cancel prepared ~seed)
+    prepared.seeds
+
+let run ?jobs ?base_dir ?prof ?engine ?cancel (spec : Spec.t) =
+  match prepare ?base_dir spec with
+  | Error e -> Error e
+  | Ok prepared -> Ok (run_prepared ?jobs ?prof ?engine ?cancel prepared)

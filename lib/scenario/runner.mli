@@ -54,14 +54,62 @@ val resolve_trace :
     the spec file's directory).  Checks the trace against [spec.n]
     when both are present. *)
 
+type prepared = {
+  spec : Spec.t;
+  trace : Trace_io.t option;
+  n : int;  (** Resolved node count (from the spec or its trace). *)
+  seeds : int array;  (** [spec.seed + i] for repeat [i], in order. *)
+}
+(** A spec with its environment materialized — the resumable,
+    cancellable unit the serve scheduler works in.  Preparing is the
+    only fallible step; every repeat after that is a pure function of
+    [(prepared, seed)]. *)
+
+val prepare : ?base_dir:string -> Spec.t -> (prepared, string) result
+(** Materialize the environment: load and check the trace (if the env
+    is one; relative paths resolve against [base_dir], default ["."]),
+    resolve [n], and lay out the per-repeat seeds.  [Error] covers
+    exactly the materialization failures [run] reports. *)
+
+val run_repeat :
+  ?prof:Obs.Span.t ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
+  ?obs:Obs.Sink.t ->
+  ?cancel:(unit -> bool) ->
+  prepared ->
+  seed:int ->
+  Obs.Report.t
+(** One repeat of a prepared spec — the report depends only on
+    [(prepared, seed)], never on which domain ran it or what ran
+    before, which is what makes the daemon's reports byte-identical to
+    [dynspread scenario run]'s.  [?obs] (default {!Obs.Sink.null})
+    receives the repeat's trace events (the serve daemon's [subscribe]
+    stream).  [?cancel] is the engines' round-boundary
+    cooperative-cancellation poll: a repeat cancelled before its first
+    round reports [Cancelled] with zero rounds; [oblivious-rw] (not
+    engine-parametric) checks only at repeat entry. *)
+
+val run_prepared :
+  ?jobs:int ->
+  ?prof:Obs.Span.t ->
+  ?engine:(module Engine.Engine_sig.ENGINE) ->
+  ?cancel:(unit -> bool) ->
+  prepared ->
+  Obs.Report.t array
+(** Every repeat of a prepared spec through one
+    {!Analysis.Sweep.map_span} sweep named [scenario/<name>], in
+    repeat order — the second half of [run]. *)
+
 val run :
   ?jobs:int ->
   ?base_dir:string ->
   ?prof:Obs.Span.t ->
   ?engine:(module Engine.Engine_sig.ENGINE) ->
+  ?cancel:(unit -> bool) ->
   Spec.t ->
   (Obs.Report.t array, string) result
-(** Execute every repeat and return the run reports in repeat order.
+(** [prepare] then [run_prepared]: execute every repeat and return the
+    run reports in repeat order.
     [?engine] (default {!Engine.Default.engine}) selects the execution
     engine for the engine-parametric algorithms (flooding,
     single-source, multi-source); reports are engine-independent, so
@@ -70,6 +118,8 @@ val run :
     {!Analysis.Sweep.map_span} sweep named [scenario/<name>]: each
     repeat is a [point] span, and the engine round/phase spans of the
     repeat nest beneath it in the lane of the domain that executed it.
+    [?cancel] (default: off) is polled at round boundaries; cancelled
+    repeats report a [Cancelled] outcome with their partial coverage.
     [Error] covers environment problems surfaced at materialization
     time (unreadable or invalid trace, node-count mismatch); protocol
     or adversary violations during a run propagate as the engines'

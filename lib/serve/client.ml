@@ -1,0 +1,124 @@
+(* Blocking rpc client for the serve daemon — what `dynspread submit`
+   is built from.  One socket, one request in flight at a time; stream
+   frames are surfaced through callbacks as they arrive.  Every IO or
+   protocol failure is funneled into [Io_error] with a one-line
+   diagnostic so the CLI can map it straight to exit code 2. *)
+
+exception Io_error of string
+
+type target = Unix_path of string | Tcp of string * int
+
+type t = { ic : in_channel; oc : out_channel }
+
+let io_error fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> io_error "cannot resolve %s" host
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found -> io_error "cannot resolve %s" host)
+
+let connect target =
+  let addr, what =
+    match target with
+    | Unix_path path -> (Unix.ADDR_UNIX path, path)
+    | Tcp (host, port) ->
+        (Unix.ADDR_INET (resolve host, port), Printf.sprintf "%s:%d" host port)
+  in
+  match Unix.open_connection addr with
+  | ic, oc -> { ic; oc }
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      io_error "%s: connection refused (is the daemon running?)" what
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      io_error "%s: no such socket (is the daemon running?)" what
+  | exception Unix.Unix_error (e, _, _) ->
+      io_error "%s: %s" what (Unix.error_message e)
+
+let close t =
+  match Unix.shutdown_connection t.ic with
+  | () -> close_in_noerr t.ic
+  | exception Unix.Unix_error _ -> close_in_noerr t.ic
+  | exception Sys_error _ -> close_in_noerr t.ic
+
+let send t req =
+  match
+    output_string t.oc (Rpc.request_to_line req);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> ()
+  | exception Sys_error e -> io_error "send failed: %s" e
+  | exception Unix.Unix_error (e, _, _) ->
+      io_error "send failed: %s" (Unix.error_message e)
+
+let recv t =
+  match input_line t.ic with
+  | exception End_of_file -> io_error "connection closed by daemon"
+  | exception Sys_error e -> io_error "recv failed: %s" e
+  | line -> (
+      match Rpc.response_of_line line with
+      | Ok r -> r
+      | Error e -> io_error "protocol error: %s" e)
+
+let request t req =
+  send t req;
+  recv t
+
+(* {2 Conveniences over the request/response pairs} *)
+
+let ping t =
+  match request t Rpc.Ping with
+  | Rpc.Pong -> ()
+  | _ -> io_error "protocol error: expected pong"
+
+let shutdown t =
+  match request t Rpc.Shutdown with
+  | Rpc.Shutting_down -> ()
+  | _ -> io_error "protocol error: expected shutting-down"
+
+let status t ?job () =
+  match request t (Rpc.Status { job }) with
+  | Rpc.Status_view { jobs; queue_depth; running } ->
+      (jobs, queue_depth, running)
+  | Rpc.Error { reason } -> io_error "%s" reason
+  | _ -> io_error "protocol error: expected status"
+
+let cancel t ~job =
+  match request t (Rpc.Cancel { job }) with
+  | Rpc.Cancel_ok { was; _ } -> Ok was
+  | Rpc.Error { reason } -> Error reason
+  | _ -> io_error "protocol error: expected cancel-ok"
+
+type finished = {
+  job : int;
+  outcome : string;  (* "completed" | "cancelled" | "failed" *)
+  reports : int;
+  reason : string option;  (* the Failed diagnostic *)
+}
+
+let submit_await t sub ~on_event ~on_report =
+  send t (Rpc.Submit sub);
+  let rec await job =
+    match recv t with
+    | Rpc.Accepted { job; _ } -> await (Some job)
+    | Rpc.Rejected { reason; _ } -> Error ("submission rejected: " ^ reason)
+    | Rpc.Error { reason } -> Error reason
+    | Rpc.Event { line; _ } ->
+        on_event line;
+        await job
+    | Rpc.Report { index; line; _ } ->
+        on_report index line;
+        await job
+    | Rpc.Done { job; outcome; reports; reason } ->
+        Ok { job; outcome; reports; reason }
+    | Rpc.Shutting_down ->
+        (* The daemon is draining: our accepted job still runs to its
+           terminal frame, so keep reading. *)
+        await job
+    | Rpc.Status_view _ | Rpc.Cancel_ok _ | Rpc.Subscribed _ | Rpc.Pong ->
+        await job
+  in
+  await None

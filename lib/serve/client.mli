@@ -1,0 +1,62 @@
+(** Blocking rpc client for the serve daemon.
+
+    One connection, one request in flight; the streaming [submit]
+    exchange surfaces [event] and [report] frames through callbacks as
+    they arrive.  All IO and protocol failures raise {!Io_error} with
+    a one-line diagnostic — `dynspread submit` maps it to exit code
+    2. *)
+
+exception Io_error of string
+
+type target =
+  | Unix_path of string  (** the daemon's unix socket path *)
+  | Tcp of string * int  (** host, port *)
+
+type t
+
+val connect : target -> t
+(** Raises {!Io_error} — connection refused and a missing socket path
+    both say "is the daemon running?". *)
+
+val close : t -> unit
+
+val send : t -> Rpc.request -> unit
+
+val recv : t -> Rpc.response
+(** Blocks for the next frame.  EOF, unparsable frames, and version
+    mismatches raise {!Io_error}. *)
+
+val request : t -> Rpc.request -> Rpc.response
+(** [send] then [recv]. *)
+
+val ping : t -> unit
+
+val shutdown : t -> unit
+(** Ask the daemon to drain and exit; returns once acknowledged. *)
+
+val status : t -> ?job:int -> unit -> Rpc.job_view list * int * int
+(** Jobs (all, or just [job]), queue depth, running count. *)
+
+val cancel : t -> job:int -> (string, string) result
+(** [Ok was_state] on acknowledgment, [Error reason] for an unknown
+    job. *)
+
+type finished = {
+  job : int;
+  outcome : string;  (** "completed" | "cancelled" | "failed" *)
+  reports : int;
+  reason : string option;  (** the Failed diagnostic *)
+}
+
+val submit_await :
+  t ->
+  Rpc.submit ->
+  on_event:(string -> unit) ->
+  on_report:(int -> string -> unit) ->
+  (finished, string) result
+(** Submit a spec and follow its stream to the terminal [done] frame.
+    [on_report index line] receives each report's pre-serialized JSON
+    exactly as `dynspread scenario run` would have printed it;
+    [on_event] likewise for dynspread-trace/v1 events when
+    [sub.events] is set.  [Error _] carries a rejection or validation
+    reason. *)

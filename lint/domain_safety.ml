@@ -16,6 +16,11 @@
       node-range slices of planes and staging buffers are the
       sanctioned pattern — per-call state threaded in by the engine,
       invisible to this top-level scan by construction.)
+      [Scheduler.create] / [Scheduler.submit] / [Scheduler.shutdown]
+      call sites are roots too: the serve daemon's job scheduler runs
+      submitted work on its persistent worker domains, so the server,
+      its request handlers, and every module a job can reach execute
+      off the main domain exactly like Sweep workers.
    2. Reachability: module A depends on module B if B's name appears
       anywhere in A's token stream (constructors inflate this set —
       that is the safe direction).  The worker-reachable set is the
@@ -33,6 +38,7 @@
 
 let sweep_fns = [ "map"; "map_timed"; "map_span"; "run" ]
 let shard_pool_fns = [ "run"; "create"; "with_pool" ]
+let scheduler_fns = [ "create"; "submit"; "shutdown" ]
 
 (* {2 Mutable-creation classification} *)
 
@@ -190,7 +196,8 @@ let check ~(files : Source_file.t list) =
     List.filter
       (fun s ->
         Source_file.calls s ~modname:"Sweep" ~fns:sweep_fns
-        || Source_file.calls s ~modname:"Shard_pool" ~fns:shard_pool_fns)
+        || Source_file.calls s ~modname:"Shard_pool" ~fns:shard_pool_fns
+        || Source_file.calls s ~modname:"Scheduler" ~fns:scheduler_fns)
       ml_files
   in
   let reachable : (string, unit) Hashtbl.t = Hashtbl.create 64 in

@@ -21,7 +21,7 @@ let default_config =
     strict_poly =
       [
         "lib/dynet/"; "lib/engine/"; "lib/fuzz/"; "lib/gossip/";
-        "lib/scenario/"; "bin/"; "bench/";
+        "lib/scenario/"; "lib/serve/"; "bin/"; "bench/";
       ];
     print_allowed = [ "lib/obs/" ];
     physeq_allowed =

@@ -19,6 +19,7 @@ let () =
       ("faults", Test_faults.suite);
       ("scenario", Test_scenario.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
       ("lint", Test_lint.suite);
       ("check", Test_check.suite);
     ]
